@@ -1,0 +1,73 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunSingleExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-only", "X2", "-scale", "quick"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"X2", "Lemma 13", "HOLDS", "all shape checks hold"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunSeveralExperiments(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-only", "X4, X5", "-scale", "quick"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "token-game") || !strings.Contains(out, "remote") {
+		t.Errorf("missing experiment output:\n%s", out)
+	}
+}
+
+func TestRunRejectsUnknownExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-only", "Z1"}, &buf); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunRejectsBadScale(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-scale", "gigantic"}, &buf); err == nil {
+		t.Fatal("bad scale accepted")
+	}
+}
+
+func TestRunRejectsBadFlag(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-bogus"}, &buf); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestRunCSVFormat(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-only", "X2", "-format", "csv"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "k,a_1") {
+		t.Errorf("CSV header missing:\n%s", out)
+	}
+	if strings.Contains(out, "===") {
+		t.Error("text decorations leaked into CSV output")
+	}
+}
+
+func TestRunRejectsBadFormat(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-format", "xml"}, &buf); err == nil {
+		t.Fatal("bad format accepted")
+	}
+}

@@ -1,0 +1,149 @@
+// Command rotorsim runs one multi-agent rotor-router (or parallel
+// random-walk) simulation and prints its headline metrics.
+//
+// Usage examples:
+//
+//	rotorsim -topology ring -n 1024 -k 8 -place equal -pointers negative
+//	rotorsim -topology ring -n 1024 -k 8 -place single -pointers toward -return
+//	rotorsim -topology grid -n 32 -k 4 -walk -trials 32
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"rotorring"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "rotorsim:", err)
+		os.Exit(1)
+	}
+}
+
+func buildGraph(topology string, n int) (*rotorring.Graph, error) {
+	switch topology {
+	case "ring":
+		return rotorring.Ring(n), nil
+	case "path":
+		return rotorring.Path(n), nil
+	case "grid":
+		return rotorring.Grid2D(n, n), nil
+	case "torus":
+		return rotorring.Torus2D(n, n), nil
+	case "complete":
+		return rotorring.Complete(n), nil
+	case "star":
+		return rotorring.Star(n), nil
+	case "hypercube":
+		return rotorring.Hypercube(n), nil
+	case "btree":
+		return rotorring.CompleteBinaryTree(n), nil
+	default:
+		return nil, fmt.Errorf("unknown topology %q", topology)
+	}
+}
+
+func placement(s string) (rotorring.PlacementPolicy, error) {
+	switch s {
+	case "single":
+		return rotorring.PlaceSingleNode, nil
+	case "equal":
+		return rotorring.PlaceEqualSpacing, nil
+	case "random":
+		return rotorring.PlaceRandom, nil
+	default:
+		return 0, fmt.Errorf("unknown placement %q (single|equal|random)", s)
+	}
+}
+
+func pointerPolicy(s string) (rotorring.PointerPolicy, error) {
+	switch s {
+	case "zero":
+		return rotorring.PointerZero, nil
+	case "negative":
+		return rotorring.PointerNegative, nil
+	case "toward":
+		return rotorring.PointerTowardStart, nil
+	case "random":
+		return rotorring.PointerRandom, nil
+	default:
+		return 0, fmt.Errorf("unknown pointer policy %q (zero|negative|toward|random)", s)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("rotorsim", flag.ContinueOnError)
+	topology := fs.String("topology", "ring", "ring|path|grid|torus|complete|star|hypercube|btree")
+	n := fs.Int("n", 1024, "size parameter (nodes; side length for grid/torus; dimension for hypercube; levels for btree)")
+	k := fs.Int("k", 4, "number of agents")
+	place := fs.String("place", "equal", "placement: single|equal|random")
+	pointers := fs.String("pointers", "zero", "pointer init: zero|negative|toward|random")
+	seed := fs.Uint64("seed", 1, "seed for randomized choices")
+	doReturn := fs.Bool("return", false, "also measure limit-cycle return time")
+	walk := fs.Bool("walk", false, "simulate parallel random walks instead")
+	trials := fs.Int("trials", 16, "trials for the walk expectation estimate")
+	budget := fs.Int64("budget", 0, "round budget (0 = automatic)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	g, err := buildGraph(*topology, *n)
+	if err != nil {
+		return err
+	}
+	pl, err := placement(*place)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "topology %s: %d nodes, %d edges, diameter %d\n",
+		g.Name(), g.NumNodes(), g.NumEdges(), g.Diameter())
+
+	if *walk {
+		w, err := rotorring.NewWalkSim(g, rotorring.Agents(*k), rotorring.Place(pl), rotorring.Seed(*seed))
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		sum, err := w.ExpectedCoverTime(*trials, *budget)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "random walks: k=%d, E[cover] = %.0f ± %.0f rounds (median %.0f, range [%.0f, %.0f], %d trials, %v)\n",
+			*k, sum.Mean, sum.StdErr, sum.Median, sum.Min, sum.Max, sum.Trials, time.Since(start).Round(time.Millisecond))
+		return nil
+	}
+
+	pp, err := pointerPolicy(*pointers)
+	if err != nil {
+		return err
+	}
+	sim, err := rotorring.NewRotorSim(g,
+		rotorring.Agents(*k), rotorring.Place(pl),
+		rotorring.Pointers(pp), rotorring.Seed(*seed))
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	cover, err := sim.CoverTime(*budget)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "rotor-router: k=%d, cover time = %d rounds (%v)\n",
+		*k, cover, time.Since(start).Round(time.Millisecond))
+
+	if *doReturn {
+		start = time.Now()
+		rs, err := sim.ReturnTime(*budget)
+		if err != nil {
+			return fmt.Errorf("return time: %w", err)
+		}
+		fmt.Fprintf(out, "limit cycle: period %d, return time %d (per-node visits %d..%d, %v)\n",
+			rs.Period, rs.ReturnTime, rs.MinNodeVisits, rs.MaxNodeVisits, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}

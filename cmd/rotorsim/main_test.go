@@ -1,0 +1,67 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRotorRun(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-topology", "ring", "-n", "128", "-k", "4",
+		"-place", "equal", "-pointers", "negative", "-return"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"ring(128)", "cover time", "limit cycle", "return time"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWalkRun(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-topology", "ring", "-n", "128", "-k", "4", "-walk", "-trials", "4"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "E[cover]") {
+		t.Errorf("output missing expectation:\n%s", buf.String())
+	}
+}
+
+func TestTopologies(t *testing.T) {
+	cases := map[string][]string{
+		"ring":      {"-n", "16"},
+		"path":      {"-n", "16"},
+		"grid":      {"-n", "5"},
+		"torus":     {"-n", "4"},
+		"complete":  {"-n", "8"},
+		"star":      {"-n", "8"},
+		"hypercube": {"-n", "3"},
+		"btree":     {"-n", "3"},
+	}
+	for topo, extra := range cases {
+		var buf bytes.Buffer
+		args := append([]string{"-topology", topo, "-k", "2", "-place", "random", "-pointers", "random"}, extra...)
+		if err := run(args, &buf); err != nil {
+			t.Errorf("%s: %v", topo, err)
+		}
+	}
+}
+
+func TestBadInputs(t *testing.T) {
+	for name, args := range map[string][]string{
+		"topology": {"-topology", "moebius"},
+		"place":    {"-place", "everywhere"},
+		"pointers": {"-pointers", "sideways"},
+		"flag":     {"-bogus"},
+	} {
+		var buf bytes.Buffer
+		if err := run(args, &buf); err == nil {
+			t.Errorf("%s: bad input accepted", name)
+		}
+	}
+}

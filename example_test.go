@@ -1,0 +1,111 @@
+package rotorring_test
+
+import (
+	"fmt"
+
+	"rotorring"
+)
+
+// The single-agent rotor-router on a ring with uniform pointers circulates
+// deterministically: it covers the n-node ring in exactly n-1 rounds and
+// settles into the Eulerian cycle of the symmetric ring (period 2n).
+func Example_singleAgent() {
+	g := rotorring.Ring(16)
+	sim, err := rotorring.NewRotorSim(g) // one agent at node 0, pointers at port 0
+	if err != nil {
+		panic(err)
+	}
+	cover, err := sim.CoverTime(0)
+	if err != nil {
+		panic(err)
+	}
+	ret, err := sim.ReturnTime(0)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("cover:", cover)
+	fmt.Println("period:", ret.Period)
+	fmt.Println("return:", ret.ReturnTime)
+	// Output:
+	// cover: 15
+	// period: 32
+	// return: 30
+}
+
+// Multi-agent cover time depends dramatically on the initial placement —
+// the central message of the paper's Table 1.
+func ExampleNewRotorSim_placements() {
+	const n, k = 256, 4
+	worst, err := rotorring.NewRotorSim(rotorring.Ring(n),
+		rotorring.Agents(k),
+		rotorring.Place(rotorring.PlaceSingleNode),
+		rotorring.Pointers(rotorring.PointerTowardStart))
+	if err != nil {
+		panic(err)
+	}
+	cw, err := worst.CoverTime(0)
+	if err != nil {
+		panic(err)
+	}
+	best, err := rotorring.NewRotorSim(rotorring.Ring(n),
+		rotorring.Agents(k),
+		rotorring.Place(rotorring.PlaceEqualSpacing),
+		rotorring.Pointers(rotorring.PointerNegative))
+	if err != nil {
+		panic(err)
+	}
+	cb, err := best.CoverTime(0)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("worst placement:", cw)
+	fmt.Println("best placement:", cb)
+	// Output:
+	// worst placement: 9598
+	// best placement: 2016
+}
+
+// The Lemma 13 profile describes how domain sizes decay with the distance
+// from the exploration frontier in the worst case: a_i ≈ a_1/i, with
+// a_1 = Θ(1/log k).
+func ExampleDomainLimitProfile() {
+	p, err := rotorring.DomainLimitProfile(16)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("sum: %.3f\n", p.Sum())
+	fmt.Printf("a_1 > a_8 > a_16: %v\n", p.A[1] > p.A[8] && p.A[8] > p.A[16])
+	fmt.Printf("a_16 >= a_1/16: %v\n", p.A[16] >= p.A[1]/16)
+	// Output:
+	// sum: 1.000
+	// a_1 > a_8 > a_16: true
+	// a_16 >= a_1/16: true
+}
+
+// Domain tracking exposes the §2.2 structures: after stabilization the ring
+// is partitioned into k near-equal domains.
+func ExampleRotorSim_domains() {
+	const n, k = 240, 4
+	sim, err := rotorring.NewRotorSim(rotorring.Ring(n),
+		rotorring.Agents(k),
+		rotorring.Place(rotorring.PlaceEqualSpacing),
+		rotorring.Pointers(rotorring.PointerNegative),
+		rotorring.TrackDomains())
+	if err != nil {
+		panic(err)
+	}
+	sim.Run(int64(20 * n))
+	part, err := sim.Domains()
+	if err != nil {
+		panic(err)
+	}
+	total := 0
+	for _, d := range part.Domains {
+		total += d.Size
+	}
+	fmt.Println("domains:", len(part.Domains))
+	fmt.Println("nodes partitioned:", total == n)
+	// Output:
+	// domains: 4
+	// nodes partitioned: true
+}

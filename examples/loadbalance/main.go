@@ -1,0 +1,71 @@
+// Loadbalance: the rotor-router as a deterministic load balancer (§1.2 of
+// the paper: Cooper–Spencer, Doerr–Friedrich, Akbari–Berenbrink). Tokens
+// circulating under rotor-router routing visit all parts of the network
+// with near-perfect regularity, while random-walk routing shows √t-scale
+// fluctuations.
+//
+// We circulate the same number of tokens under both disciplines on a torus
+// and compare how evenly the cumulative work (visits) spreads over nodes.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rotorring"
+)
+
+func main() {
+	const (
+		side   = 16 // torus side (256 nodes)
+		tokens = 64
+		rounds = 20000
+	)
+	g := rotorring.Torus2D(side, side)
+	n := g.NumNodes()
+
+	rotor, err := rotorring.NewRotorSim(g,
+		rotorring.Agents(tokens),
+		rotorring.Place(rotorring.PlaceRandom),
+		rotorring.Pointers(rotorring.PointerRandom),
+		rotorring.Seed(11))
+	if err != nil {
+		log.Fatal(err)
+	}
+	rotor.Run(rounds)
+
+	walk, err := rotorring.NewWalkSim(g,
+		rotorring.Agents(tokens),
+		rotorring.Place(rotorring.PlaceRandom),
+		rotorring.Seed(11))
+	if err != nil {
+		log.Fatal(err)
+	}
+	walk.Run(rounds)
+
+	fmt.Printf("%d tokens on a %dx%d torus for %d rounds (mean visits/node = %.0f)\n\n",
+		tokens, side, side, rounds, float64(tokens)*float64(rounds)/float64(n))
+
+	report := func(name string, visits func(v int) int64) {
+		min, max := visits(0), visits(0)
+		var sum int64
+		for v := 0; v < n; v++ {
+			c := visits(v)
+			sum += c
+			if c < min {
+				min = c
+			}
+			if c > max {
+				max = c
+			}
+		}
+		mean := float64(sum) / float64(n)
+		fmt.Printf("%-13s visits per node: min %6d, max %6d, spread %5d (%.2f%% of mean)\n",
+			name, min, max, max-min, 100*float64(max-min)/mean)
+	}
+	report("rotor-router", rotor.Visits)
+	report("random walks", walk.Visits)
+
+	fmt.Printf("\nthe rotor-router's discrepancy stays O(1)-per-round bounded (Cooper–Spencer);\n")
+	fmt.Printf("independent walks accumulate diffusive fluctuations.\n")
+}

@@ -1,0 +1,66 @@
+// Patrol: the network-patrolling scenario that motivated the rotor-router
+// literature (Yanovski et al.'s Edge Ant Walk): k patrol agents must
+// revisit every station of a ring frequently and predictably.
+//
+// The rotor-router gives a deterministic worst-case guarantee — after
+// stabilization every station is revisited every Θ(n/k) rounds, whatever
+// the initial placement (Theorem 6). Random walkers only promise n/k in
+// expectation: their worst observed idle times are far larger and
+// unbounded in the limit. This example measures both.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rotorring"
+)
+
+func main() {
+	const (
+		n = 512 // stations on the perimeter
+		k = 8   // patrol agents
+	)
+	g := rotorring.Ring(n)
+	fmt.Printf("patrolling a %d-station perimeter with %d agents (ideal revisit interval n/k = %d)\n\n",
+		n, k, n/k)
+
+	// Deterministic patrol. Start from the worst placement to show the
+	// guarantee is initialization-independent.
+	for _, placement := range []struct {
+		name string
+		p    rotorring.PlacementPolicy
+	}{
+		{"all agents at one gate", rotorring.PlaceSingleNode},
+		{"agents spread evenly", rotorring.PlaceEqualSpacing},
+	} {
+		sim, err := rotorring.NewRotorSim(g,
+			rotorring.Agents(k),
+			rotorring.Place(placement.p),
+			rotorring.Pointers(rotorring.PointerZero))
+		if err != nil {
+			log.Fatal(err)
+		}
+		ret, err := sim.ReturnTime(0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("rotor-router, %-24s worst idle %4d rounds, mean idle %6.1f (limit period %d)\n",
+			placement.name+":", ret.ReturnTime, ret.MeanGap, ret.Period)
+	}
+
+	// Randomized patrol: long-run observation window.
+	walk, err := rotorring.NewWalkSim(g,
+		rotorring.Agents(k),
+		rotorring.Place(rotorring.PlaceEqualSpacing),
+		rotorring.Seed(7))
+	if err != nil {
+		log.Fatal(err)
+	}
+	gs := walk.MeasureGaps(10*n, 400*n)
+	fmt.Printf("\nrandom walks over %d rounds:          worst idle %4d rounds, mean idle %6.1f\n",
+		400*n, gs.MaxGap, gs.MeanGap)
+
+	fmt.Printf("\nthe deterministic patrol bounds every idle interval; the randomized patrol's\n")
+	fmt.Printf("mean matches n/k but its worst case drifts upward with the observation window.\n")
+}

@@ -1,0 +1,303 @@
+// Package continuum implements the continuous-time approximation of the
+// multi-agent rotor-router on the ring (paper §2.3) and the normalized
+// limit profile sequence {a_i} of Lemma 13.
+//
+// In the continuous model the i-th agent's domain has size ν_i(t) evolving
+// under
+//
+//	dν_i/dt = 1/ν_i − 1/(2ν_{i−1}) − 1/(2ν_{i+1}),
+//
+// an agent enlarging its own domain once per traversal while its neighbors
+// push back. Before the ring is covered the boundary conditions are
+// ν_0 = ν_{k+1} = +∞ (a frontier of negatively initialized pointers);
+// after coverage the conditions are cyclic. The paper separates variables
+// as ν_i(t) = f(t)/g_i, yielding f(t) ~ √t and domain sizes proportional to
+// the sequence a_i of Lemma 13 (a_i ≈ Θ(1/i)) while unexplored territory
+// remains, and equal sizes in the covered limit.
+package continuum
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"rotorring/internal/stats"
+)
+
+// Profile is the normalized limit profile (a_0, a_1, ..., a_k, a_{k+1}) of
+// Lemma 13: a_0 = +∞, a_{k+1} = a_k, Σ_{i=1..k} a_i = 1, and the a_i are
+// strictly decreasing. A[i] holds a_i; len(A) == k+2.
+type Profile struct {
+	K int
+	// C is the constant c = b_1 of the underlying recursion; the lemma
+	// shows H_k <= c² <= 4(H_k + 1).
+	C float64
+	// A[0] = +Inf, A[i] = a_i = 1/(c·b_i) for 1 <= i <= k, A[k+1] = A[k].
+	A []float64
+	// B[i] = b_i: b_0 = 0, b_1 = c, b_{i+1} = 2b_i − b_{i−1} − 1/b_i.
+	B []float64
+}
+
+// evalSequence computes b_0..b_{k+1} for a given c. It reports ok=false if
+// the sequence degenerates (some b_i or difference d_i becomes
+// non-positive before index k+1), which means c is too small.
+func evalSequence(k int, c float64) (b []float64, ok bool) {
+	b = make([]float64, k+2)
+	b[0], b[1] = 0, c
+	for i := 1; i <= k; i++ {
+		b[i+1] = 2*b[i] - b[i-1] - 1/b[i]
+		if b[i+1] <= 0 {
+			return b, false
+		}
+	}
+	// Differences must stay positive up to d_k; d_{k+1} may be any sign.
+	for i := 1; i <= k; i++ {
+		if b[i]-b[i-1] <= 0 {
+			return b, false
+		}
+	}
+	return b, true
+}
+
+// dk1Sign returns the sign of d_{k+1}(c) = b_{k+1} − b_k, treating a
+// degenerate sequence as negative (c too small).
+func dk1Sign(k int, c float64) float64 {
+	b, ok := evalSequence(k, c)
+	if !ok {
+		return -1
+	}
+	return b[k+1] - b[k]
+}
+
+// LimitProfile computes the Lemma 13 sequence for k > 3 by bisection on c.
+func LimitProfile(k int) (*Profile, error) {
+	if k <= 3 {
+		return nil, fmt.Errorf("continuum: LimitProfile requires k > 3, got %d", k)
+	}
+	// Lemma 13 proves H_k <= c² <= 4(H_k+1); bracket a little wider.
+	hk := stats.Harmonic(k)
+	lo := math.Sqrt(hk) * 0.5
+	hi := 2.1 * math.Sqrt(hk+1)
+	if dk1Sign(k, lo) > 0 {
+		return nil, fmt.Errorf("continuum: bisection bracket broken at lo for k=%d", k)
+	}
+	if dk1Sign(k, hi) < 0 {
+		return nil, fmt.Errorf("continuum: bisection bracket broken at hi for k=%d", k)
+	}
+	for iter := 0; iter < 200 && hi-lo > 1e-14*hi; iter++ {
+		mid := (lo + hi) / 2
+		if dk1Sign(k, mid) < 0 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	c := (lo + hi) / 2
+	b, ok := evalSequence(k, c)
+	if !ok {
+		return nil, fmt.Errorf("continuum: converged c=%v degenerates for k=%d", c, k)
+	}
+
+	a := make([]float64, k+2)
+	a[0] = math.Inf(1)
+	for i := 1; i <= k; i++ {
+		a[i] = 1 / (c * b[i])
+	}
+	a[k+1] = a[k]
+	return &Profile{K: k, C: c, A: a, B: b}, nil
+}
+
+// Sum returns Σ_{i=1..k} a_i, which Lemma 13 property (3) puts at 1.
+func (p *Profile) Sum() float64 {
+	s := 0.0
+	for i := 1; i <= p.K; i++ {
+		s += p.A[i]
+	}
+	return s
+}
+
+// Prefix returns p_i = Σ_{j=i..k} a_j, the normalized position of the i-th
+// agent in a desirable configuration (proof of Theorem 1: agent i sits at
+// position p_i·S).
+func (p *Profile) Prefix() []float64 {
+	pre := make([]float64, p.K+2)
+	for i := p.K; i >= 1; i-- {
+		pre[i] = pre[i+1] + p.A[i]
+	}
+	return pre
+}
+
+// RecursionResidual returns the largest violation of the identity
+// 1/a_{i+1} = 2/a_i − 1/a_{i−1} − a_i/a_1 over 1 <= i <= k (with
+// 1/a_0 = 0), a self-check of the computed profile.
+func (p *Profile) RecursionResidual() float64 {
+	maxRes := 0.0
+	for i := 1; i <= p.K; i++ {
+		var invPrev float64
+		if i > 1 {
+			invPrev = 1 / p.A[i-1]
+		}
+		lhs := 1 / p.A[i+1]
+		rhs := 2/p.A[i] - invPrev - p.A[i]/p.A[1]
+		res := math.Abs(lhs-rhs) / math.Max(1, math.Abs(lhs))
+		if res > maxRes {
+			maxRes = res
+		}
+	}
+	return maxRes
+}
+
+// Boundary selects the boundary condition of the ODE system.
+type Boundary int
+
+const (
+	// BoundaryCyclic is the post-coverage regime: domains 1 and k are
+	// adjacent (ν_0 ≡ ν_k, ν_{k+1} ≡ ν_1).
+	BoundaryCyclic Boundary = iota + 1
+	// BoundaryTwoFrontiers is the pre-coverage regime on the ring with
+	// unexplored territory on both sides: ν_0 = ν_{k+1} = +∞.
+	BoundaryTwoFrontiers
+	// BoundaryOneFrontier is the pre-coverage regime of Theorem 1's path
+	// reduction: a frontier beyond domain 1 (ν_0 = +∞) and the agents'
+	// common origin behind domain k, modeled by the mirror condition
+	// ν_{k+1} = ν_k (the d_{k+1} = 0 condition of Lemma 13). Its
+	// self-similar solution is exactly ν_i(t) ∝ a_i·√t.
+	BoundaryOneFrontier
+)
+
+// Model integrates the §2.3 ODE system with classic fixed-order RK4 and
+// adaptive step-size control.
+type Model struct {
+	nu       []float64
+	boundary Boundary
+	t        float64
+
+	// scratch buffers for RK4
+	k1, k2, k3, k4, tmp []float64
+}
+
+// NewModel creates a model with the given initial domain sizes (all
+// positive, ordered from the frontier inward for BoundaryOneFrontier).
+func NewModel(sizes []float64, boundary Boundary) (*Model, error) {
+	if len(sizes) == 0 {
+		return nil, errors.New("continuum: no domains")
+	}
+	switch boundary {
+	case BoundaryCyclic, BoundaryTwoFrontiers, BoundaryOneFrontier:
+	default:
+		return nil, fmt.Errorf("continuum: unknown boundary %d", boundary)
+	}
+	for i, s := range sizes {
+		if s <= 0 || math.IsNaN(s) || math.IsInf(s, 0) {
+			return nil, fmt.Errorf("continuum: invalid initial size %v at index %d", s, i)
+		}
+	}
+	n := len(sizes)
+	return &Model{
+		nu:       append([]float64(nil), sizes...),
+		boundary: boundary,
+		k1:       make([]float64, n),
+		k2:       make([]float64, n),
+		k3:       make([]float64, n),
+		k4:       make([]float64, n),
+		tmp:      make([]float64, n),
+	}, nil
+}
+
+// Sizes returns a copy of the current domain sizes.
+func (m *Model) Sizes() []float64 { return append([]float64(nil), m.nu...) }
+
+// Time returns the elapsed model time.
+func (m *Model) Time() float64 { return m.t }
+
+// Total returns Σ ν_i: the number of covered nodes in the pre-coverage
+// regime, constant (= n) in the covered regime.
+func (m *Model) Total() float64 {
+	s := 0.0
+	for _, v := range m.nu {
+		s += v
+	}
+	return s
+}
+
+// deriv writes dν/dt into out for the state nu.
+func (m *Model) deriv(nu, out []float64) {
+	k := len(nu)
+	for i := 0; i < k; i++ {
+		d := 1 / nu[i]
+		if i > 0 {
+			d -= 1 / (2 * nu[i-1])
+		} else if m.boundary == BoundaryCyclic {
+			d -= 1 / (2 * nu[k-1])
+		} // frontier boundaries: ν_0 = ∞ contributes nothing
+		if i < k-1 {
+			d -= 1 / (2 * nu[i+1])
+		} else {
+			switch m.boundary {
+			case BoundaryCyclic:
+				d -= 1 / (2 * nu[0])
+			case BoundaryOneFrontier:
+				d -= 1 / (2 * nu[k-1]) // mirror: ν_{k+1} = ν_k
+			}
+		}
+		out[i] = d
+	}
+}
+
+// rk4Step advances one classic Runge-Kutta step of size dt.
+func (m *Model) rk4Step(dt float64) {
+	n := len(m.nu)
+	m.deriv(m.nu, m.k1)
+	for i := 0; i < n; i++ {
+		m.tmp[i] = m.nu[i] + dt/2*m.k1[i]
+	}
+	m.deriv(m.tmp, m.k2)
+	for i := 0; i < n; i++ {
+		m.tmp[i] = m.nu[i] + dt/2*m.k2[i]
+	}
+	m.deriv(m.tmp, m.k3)
+	for i := 0; i < n; i++ {
+		m.tmp[i] = m.nu[i] + dt*m.k3[i]
+	}
+	m.deriv(m.tmp, m.k4)
+	for i := 0; i < n; i++ {
+		m.nu[i] += dt / 6 * (m.k1[i] + 2*m.k2[i] + 2*m.k3[i] + m.k4[i])
+	}
+	m.t += dt
+}
+
+// Advance integrates until model time reaches m.Time() + horizon, choosing
+// steps so that no domain changes by more than about 1% per step. It
+// returns an error if a domain size would become non-positive.
+func (m *Model) Advance(horizon float64) error {
+	target := m.t + horizon
+	for m.t < target {
+		minNu := m.nu[0]
+		for _, v := range m.nu {
+			if v < minNu {
+				minNu = v
+			}
+		}
+		if minNu <= 0 {
+			return fmt.Errorf("continuum: domain size %v became non-positive at t=%v", minNu, m.t)
+		}
+		m.deriv(m.nu, m.k1)
+		maxRate := 0.0
+		for _, r := range m.k1 {
+			if a := math.Abs(r); a > maxRate {
+				maxRate = a
+			}
+		}
+		dt := target - m.t
+		if maxRate > 0 {
+			if cap := 0.01 * minNu / maxRate; cap < dt {
+				dt = cap
+			}
+		}
+		if dt <= 0 {
+			break
+		}
+		m.rk4Step(dt)
+	}
+	return nil
+}

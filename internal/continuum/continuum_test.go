@@ -1,0 +1,297 @@
+package continuum
+
+import (
+	"math"
+	"testing"
+
+	"rotorring/internal/stats"
+)
+
+func TestLimitProfileRejectsSmallK(t *testing.T) {
+	for _, k := range []int{0, 1, 2, 3} {
+		if _, err := LimitProfile(k); err == nil {
+			t.Errorf("k=%d accepted", k)
+		}
+	}
+}
+
+func TestLimitProfileProperties(t *testing.T) {
+	// Lemma 13 properties (1)-(6) for a range of k.
+	for _, k := range []int{4, 6, 10, 32, 100, 500, 2000} {
+		p, err := LimitProfile(k)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		// (1) a_0 = +∞.
+		if !math.IsInf(p.A[0], 1) {
+			t.Errorf("k=%d: a_0 = %v", k, p.A[0])
+		}
+		// (2) a_{k+1} = a_k < a_{k-1} < ... < a_1.
+		if p.A[k+1] != p.A[k] {
+			t.Errorf("k=%d: a_{k+1} != a_k", k)
+		}
+		for i := 1; i < k; i++ {
+			if !(p.A[i] > p.A[i+1]) {
+				t.Errorf("k=%d: a_%d=%v not > a_%d=%v", k, i, p.A[i], i+1, p.A[i+1])
+			}
+		}
+		// (3) Σ a_i = 1.
+		if sum := p.Sum(); math.Abs(sum-1) > 1e-9 {
+			t.Errorf("k=%d: sum = %v", k, sum)
+		}
+		// (4) the recursion identity holds.
+		if res := p.RecursionResidual(); res > 1e-6 {
+			t.Errorf("k=%d: recursion residual %v", k, res)
+		}
+		// (5) 1/(4(H_k+1)) <= a_1 <= 1/H_k.
+		hk := stats.Harmonic(k)
+		if p.A[1] < 1/(4*(hk+1))-1e-12 || p.A[1] > 1/hk+1e-12 {
+			t.Errorf("k=%d: a_1 = %v outside [%v, %v]", k, p.A[1], 1/(4*(hk+1)), 1/hk)
+		}
+		// (6) a_i >= 1/(4i(H_k+1)).
+		for i := 1; i <= k; i++ {
+			if p.A[i] < 1/(4*float64(i)*(hk+1))-1e-12 {
+				t.Errorf("k=%d: a_%d = %v below bound", k, i, p.A[i])
+			}
+		}
+		// Also: b_i <= i·c implies a_i >= a_1/i (the g(i) ~ Θ(i) shape).
+		for i := 1; i <= k; i++ {
+			if p.A[i] < p.A[1]/float64(i)-1e-12 {
+				t.Errorf("k=%d: a_%d = %v below a_1/i = %v", k, i, p.A[i], p.A[1]/float64(i))
+			}
+		}
+	}
+}
+
+func TestProfilePrefix(t *testing.T) {
+	p, err := LimitProfile(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre := p.Prefix()
+	// p_1 = Σ all = 1; p_{k+1} = 0; decreasing in i.
+	if math.Abs(pre[1]-1) > 1e-9 {
+		t.Fatalf("p_1 = %v", pre[1])
+	}
+	if pre[9] != 0 {
+		t.Fatalf("p_{k+1} = %v", pre[9])
+	}
+	for i := 1; i <= 8; i++ {
+		if !(pre[i] > pre[i+1]) {
+			t.Fatalf("prefix not decreasing at %d: %v, %v", i, pre[i], pre[i+1])
+		}
+	}
+}
+
+func TestCSquaredBracket(t *testing.T) {
+	// Lemma 13's proof: H_k <= c² <= 4(H_k + 1).
+	for _, k := range []int{5, 20, 200} {
+		p, err := LimitProfile(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hk := stats.Harmonic(k)
+		c2 := p.C * p.C
+		if c2 < hk-1e-9 || c2 > 4*(hk+1)+1e-9 {
+			t.Errorf("k=%d: c² = %v outside [H_k, 4(H_k+1)] = [%v, %v]", k, c2, hk, 4*(hk+1))
+		}
+	}
+}
+
+func TestNewModelValidation(t *testing.T) {
+	if _, err := NewModel(nil, BoundaryCyclic); err == nil {
+		t.Error("empty model accepted")
+	}
+	if _, err := NewModel([]float64{1, -2}, BoundaryCyclic); err == nil {
+		t.Error("negative size accepted")
+	}
+	if _, err := NewModel([]float64{1, math.NaN()}, BoundaryCyclic); err == nil {
+		t.Error("NaN size accepted")
+	}
+}
+
+func TestCoveredModelConservesTotalAndEqualizes(t *testing.T) {
+	// Post-coverage the ODE conserves Σν (borders only shift mass) and the
+	// stationary profile is uniform (§2.3: g_i constant).
+	sizes := []float64{50, 10, 30, 20, 40}
+	m, err := NewModel(sizes, BoundaryCyclic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total0 := m.Total()
+	if err := m.Advance(1e6); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Total()-total0)/total0 > 1e-6 {
+		t.Fatalf("total drifted: %v -> %v", total0, m.Total())
+	}
+	want := total0 / float64(len(sizes))
+	for i, v := range m.Sizes() {
+		if math.Abs(v-want)/want > 0.01 {
+			t.Errorf("domain %d = %v, want ≈ %v", i, v, want)
+		}
+	}
+}
+
+func TestUncoveredModelGrowsAsSqrtT(t *testing.T) {
+	// Pre-coverage, the self-similar solution is ν_i(t) = a_i·f(t) with
+	// f(t) = sqrt(t/a_1 + S²): explored mass grows as √t, and since
+	// Σ a_i = 1 the total explored mass is exactly f(t). Check the closed
+	// form along the trajectory and the asymptotic exponent 1/2.
+	p, err := LimitProfile(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const scale = 1000.0
+	sizes := make([]float64, 8)
+	for i := range sizes {
+		sizes[i] = p.A[i+1] * scale
+	}
+	m, err := NewModel(sizes, BoundaryOneFrontier)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var ts, totals []float64
+	horizon := 1e5
+	for step := 0; step < 8; step++ {
+		if err := m.Advance(horizon); err != nil {
+			t.Fatal(err)
+		}
+		horizon *= 2
+		ts = append(ts, m.Time())
+		totals = append(totals, m.Total())
+		want := math.Sqrt(m.Time()/p.A[1] + scale*scale)
+		if math.Abs(m.Total()-want)/want > 0.02 {
+			t.Fatalf("t=%v: total = %v, closed form %v", m.Time(), m.Total(), want)
+		}
+	}
+	// Asymptotic exponent over the last points, where t/a_1 >> S².
+	fit, err := stats.LogLogSlope(ts[4:], totals[4:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Slope-0.5) > 0.03 {
+		t.Fatalf("growth exponent = %v, want ≈ 0.5", fit.Slope)
+	}
+}
+
+func TestUncoveredModelPreservesProfileShape(t *testing.T) {
+	// Starting from the Lemma 13 profile ν_i = a_i·S, the shape is
+	// self-similar: ν_i(t)/ν_1(t) stays ≈ a_i/a_1 as the system grows.
+	const k = 12
+	p, err := LimitProfile(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const scale = 5000.0
+	sizes := make([]float64, k)
+	for i := range sizes {
+		sizes[i] = p.A[i+1] * scale
+	}
+	m, err := NewModel(sizes, BoundaryOneFrontier)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Grow the system by roughly 4x (t ~ total²).
+	if err := m.Advance(16 * scale * scale); err != nil {
+		t.Fatal(err)
+	}
+	if m.Total() < 2*scale {
+		t.Fatalf("system did not grow: total %v", m.Total())
+	}
+	got := m.Sizes()
+	for i := 0; i < k; i++ {
+		wantRatio := p.A[i+1] / p.A[1]
+		gotRatio := got[i] / got[0]
+		if math.Abs(gotRatio-wantRatio)/wantRatio > 0.05 {
+			t.Errorf("domain %d: ratio %v, want %v", i+1, gotRatio, wantRatio)
+		}
+	}
+}
+
+func TestFrontierGrowthRate(t *testing.T) {
+	// With two frontiers d(Σν)/dt = 1/(2ν_1) + 1/(2ν_k): both outermost
+	// domains capture new territory. With one frontier only ν_1 does.
+	sizes := []float64{100, 80, 60}
+	m, err := NewModel(sizes, BoundaryTwoFrontiers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := m.Total()
+	dt := 1.0
+	if err := m.Advance(dt); err != nil {
+		t.Fatal(err)
+	}
+	growth := m.Total() - before
+	want := dt * (1/(2*100.0) + 1/(2*60.0))
+	if math.Abs(growth-want)/want > 0.02 {
+		t.Fatalf("two-frontier growth %v, want ≈ %v", growth, want)
+	}
+
+	m2, err := NewModel(sizes, BoundaryOneFrontier)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before = m2.Total()
+	if err := m2.Advance(dt); err != nil {
+		t.Fatal(err)
+	}
+	growth = m2.Total() - before
+	want = dt * (1 / (2 * 100.0))
+	if math.Abs(growth-want)/want > 0.02 {
+		t.Fatalf("one-frontier growth %v, want ≈ %v", growth, want)
+	}
+}
+
+func TestTwoFrontiersSymmetrize(t *testing.T) {
+	// With unexplored territory on both sides, the limiting shape is
+	// symmetric: ν_i ≈ ν_{k+1-i} after enough growth.
+	sizes := []float64{400, 100, 150, 220, 90, 300}
+	m, err := NewModel(sizes, BoundaryTwoFrontiers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Advance(4e7); err != nil {
+		t.Fatal(err)
+	}
+	got := m.Sizes()
+	k := len(got)
+	for i := 0; i < k/2; i++ {
+		a, b := got[i], got[k-1-i]
+		if math.Abs(a-b)/math.Max(a, b) > 0.05 {
+			t.Errorf("asymmetry at %d: %v vs %v", i, a, b)
+		}
+	}
+}
+
+func TestAdvanceRejectsCollapse(t *testing.T) {
+	// A tiny domain squeezed by huge neighbors collapses; Advance must
+	// detect it rather than produce negative sizes.
+	m, err := NewModel([]float64{1e6, 0.05, 1e6}, BoundaryCyclic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Advance(1e9); err == nil {
+		// Not necessarily an error mathematically (1/ν_i blows up too),
+		// but sizes must stay positive if no error was reported.
+		for i, v := range m.Sizes() {
+			if v <= 0 {
+				t.Fatalf("domain %d collapsed to %v without error", i, v)
+			}
+		}
+	}
+}
+
+func TestModelTimeAdvances(t *testing.T) {
+	m, err := NewModel([]float64{10, 10}, BoundaryCyclic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Advance(42); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Time()-42) > 1e-9 {
+		t.Fatalf("time = %v", m.Time())
+	}
+}

@@ -1,0 +1,585 @@
+// Package core implements the multi-agent rotor-router system of Klasing,
+// Kosowski, Pająk and Sauerwald (PODC 2013 / Distrib. Comput. 2017), §1.3.
+//
+// A configuration is a triple ((ρ_v), (π_v), {r_1..r_k}): the fixed cyclic
+// port orders, the current port pointers, and the multiset of agent
+// positions. In every synchronous round each agent at node v traverses the
+// arc indicated by π_v and the pointer advances; a node holding c agents at
+// the start of a round emits them along ports π_v, next(π_v), ...,
+// next^{c-1}(π_v) and its pointer ends advanced by c. Agents are
+// indistinguishable, so the engine stores agent counts per node and
+// processes only occupied nodes, making a round cost O(Σ_{occupied v}
+// min(deg v, agents at v)) instead of O(k).
+//
+// The engine also supports delayed deployments (§2.1): StepHeld freezes a
+// chosen number of agents per node for one round, which is the primitive
+// that the deploy package's schedules are built from.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"rotorring/internal/graph"
+	"rotorring/internal/xrand"
+)
+
+// ErrNotCovered is returned by RunUntilCovered when the round budget is
+// exhausted before every node has been visited.
+var ErrNotCovered = errors.New("core: cover-time budget exhausted")
+
+// System is a running multi-agent rotor-router. It is not safe for
+// concurrent use; experiments run independent Systems per goroutine.
+type System struct {
+	g *graph.Graph
+	n int
+	k int64
+
+	ptr    []int32 // π_v as a port index
+	ptr0   []int32 // initial pointers, for the arc-traversal law and Reset
+	agents []int64 // agents currently at v
+	ag0    []int64 // initial agent counts, for Reset
+
+	occupied []int  // nodes with agents[v] > 0, unordered
+	inOcc    []bool // membership flags for occupied
+
+	visits     []int64 // n_v(t): initial agents at v plus arrivals in [1,t]
+	exits      []int64 // e_v(t): departures from v in [1,t]
+	coveredAt  []int64 // round of first visit, -1 if uncovered
+	covered    int
+	coverRound int64 // round at which covered == n, -1 before that
+	round      int64 // completed rounds
+
+	fullyActiveRounds int64 // rounds in which no agent was held (Lemma 3's τ)
+
+	// Incremental configuration hash over (ptr, agents); see hash.go.
+	hash uint64
+
+	// Round-stamped change tracking for incremental hashing: the first
+	// modification of agents[v] in a round records the pre-round count.
+	lastTouch []int64 // round stamp of last touch, 0 = never
+	oldCnt    []int64 // agents[v] before this round's first modification
+	changed   []int   // nodes touched this round
+
+	// Per-round visited-node tracking: nodes that received at least one
+	// arrival during the last completed round.
+	visitStamp  []int64
+	lastVisited []int
+
+	// Optional per-round flow recording (per arc of the last completed
+	// round), used by the ring domain tracker.
+	recordFlows  bool
+	flows        []int64
+	flowsTouched []int
+
+	// Optional cumulative per-arc traversal counters.
+	recordArcs bool
+	arcCount   []int64
+
+	// Scratch buffers reused across rounds.
+	srcNode []int
+	srcCnt  []int64
+	cand    []int
+}
+
+// Option configures a System at construction time.
+type Option func(*config) error
+
+type config struct {
+	positions []int
+	counts    []int64
+	pointers  []int
+	flows     bool
+	arcs      bool
+}
+
+// WithAgentsAt places one agent on each listed node (repeats allowed:
+// listing a node twice places two agents there).
+func WithAgentsAt(positions ...int) Option {
+	return func(c *config) error {
+		c.positions = append([]int(nil), positions...)
+		return nil
+	}
+}
+
+// WithAgentCounts places counts[v] agents on node v; len(counts) must equal
+// the number of nodes.
+func WithAgentCounts(counts []int64) Option {
+	return func(c *config) error {
+		c.counts = append([]int64(nil), counts...)
+		return nil
+	}
+}
+
+// WithPointers sets the initial port pointers; len(pointers) must equal the
+// number of nodes and pointers[v] must be a valid port of v. Initializers
+// for the paper's adversarial arrangements live in init.go.
+func WithPointers(pointers []int) Option {
+	return func(c *config) error {
+		c.pointers = append([]int(nil), pointers...)
+		return nil
+	}
+}
+
+// WithFlowRecording enables per-round arc flow recording (LastFlow), needed
+// by the domain tracker. It costs O(moved arcs) extra per round.
+func WithFlowRecording() Option {
+	return func(c *config) error {
+		c.flows = true
+		return nil
+	}
+}
+
+// WithArcCounting enables cumulative per-arc traversal counters
+// (ArcTraversals), used by the Eulerian-circulation checks.
+func WithArcCounting() Option {
+	return func(c *config) error {
+		c.arcs = true
+		return nil
+	}
+}
+
+// NewSystem creates a rotor-router on g. At least one agent must be placed;
+// pointers default to port 0 everywhere.
+func NewSystem(g *graph.Graph, opts ...Option) (*System, error) {
+	var c config
+	for _, o := range opts {
+		if err := o(&c); err != nil {
+			return nil, err
+		}
+	}
+	n := g.NumNodes()
+
+	s := &System{
+		g:          g,
+		n:          n,
+		ptr:        make([]int32, n),
+		ptr0:       make([]int32, n),
+		agents:     make([]int64, n),
+		ag0:        make([]int64, n),
+		inOcc:      make([]bool, n),
+		visits:     make([]int64, n),
+		exits:      make([]int64, n),
+		coveredAt:  make([]int64, n),
+		coverRound: -1,
+		lastTouch:  make([]int64, n),
+		oldCnt:     make([]int64, n),
+		visitStamp: make([]int64, n),
+	}
+
+	if c.pointers != nil {
+		if len(c.pointers) != n {
+			return nil, fmt.Errorf("core: %d pointers for %d nodes", len(c.pointers), n)
+		}
+		for v, p := range c.pointers {
+			if p < 0 || p >= g.Degree(v) {
+				return nil, fmt.Errorf("core: pointer %d invalid at node %d (degree %d)", p, v, g.Degree(v))
+			}
+			s.ptr[v] = int32(p)
+		}
+	}
+	copy(s.ptr0, s.ptr)
+
+	switch {
+	case c.positions != nil && c.counts != nil:
+		return nil, errors.New("core: WithAgentsAt and WithAgentCounts are mutually exclusive")
+	case c.positions != nil:
+		for _, v := range c.positions {
+			if v < 0 || v >= n {
+				return nil, fmt.Errorf("core: agent position %d out of range [0,%d)", v, n)
+			}
+			s.agents[v]++
+			s.k++
+		}
+	case c.counts != nil:
+		if len(c.counts) != n {
+			return nil, fmt.Errorf("core: %d agent counts for %d nodes", len(c.counts), n)
+		}
+		for v, cnt := range c.counts {
+			if cnt < 0 {
+				return nil, fmt.Errorf("core: negative agent count at node %d", v)
+			}
+			s.agents[v] = cnt
+			s.k += cnt
+		}
+	}
+	if s.k == 0 {
+		return nil, errors.New("core: no agents placed")
+	}
+	copy(s.ag0, s.agents)
+
+	for v := 0; v < n; v++ {
+		s.coveredAt[v] = -1
+		if s.agents[v] > 0 {
+			s.occupied = append(s.occupied, v)
+			s.inOcc[v] = true
+			s.visits[v] = s.agents[v] // n_v(0)
+			s.coveredAt[v] = 0
+			s.covered++
+		}
+	}
+	if s.covered == n {
+		s.coverRound = 0
+	}
+
+	if c.flows {
+		s.recordFlows = true
+		s.flows = make([]int64, g.NumArcs())
+	}
+	if c.arcs {
+		s.recordArcs = true
+		s.arcCount = make([]int64, g.NumArcs())
+	}
+
+	s.hash = s.fullHash()
+	return s, nil
+}
+
+// Graph returns the topology the system runs on.
+func (s *System) Graph() *graph.Graph { return s.g }
+
+// NumAgents returns k.
+func (s *System) NumAgents() int64 { return s.k }
+
+// Round returns the number of completed rounds.
+func (s *System) Round() int64 { return s.round }
+
+// AgentsAt returns the number of agents currently at v.
+func (s *System) AgentsAt(v int) int64 { return s.agents[v] }
+
+// Pointer returns the current port pointer of v.
+func (s *System) Pointer(v int) int { return int(s.ptr[v]) }
+
+// InitialPointer returns the pointer of v at construction time.
+func (s *System) InitialPointer(v int) int { return int(s.ptr0[v]) }
+
+// Visits returns n_v(t): the initial agent count of v plus the number of
+// arrivals at v during rounds [1, t], matching the paper's counters.
+func (s *System) Visits(v int) int64 { return s.visits[v] }
+
+// Exits returns e_v(t): the number of departures from v during [1, t].
+func (s *System) Exits(v int) int64 { return s.exits[v] }
+
+// Covered returns how many nodes have been covered so far.
+func (s *System) Covered() int { return s.covered }
+
+// CoveredAt returns the round at which v was first covered (0 for nodes
+// holding agents initially) and -1 if v is still uncovered.
+func (s *System) CoveredAt(v int) int64 { return s.coveredAt[v] }
+
+// CoverRound returns the first round after which every node had been
+// visited, or -1 if the graph is not yet covered.
+func (s *System) CoverRound() int64 { return s.coverRound }
+
+// FullyActiveRounds returns how many completed rounds moved every agent
+// (no holds) — the quantity τ in the slow-down lemma (Lemma 3).
+func (s *System) FullyActiveRounds() int64 { return s.fullyActiveRounds }
+
+// Positions returns the sorted multiset of agent positions.
+func (s *System) Positions() []int {
+	out := make([]int, 0, s.k)
+	for v := 0; v < s.n; v++ {
+		for i := int64(0); i < s.agents[v]; i++ {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Occupied returns a copy of the list of nodes currently holding agents.
+func (s *System) Occupied() []int {
+	return append([]int(nil), s.occupied...)
+}
+
+// LastVisited returns the nodes that received at least one arrival during
+// the last completed round. The slice is reused on the next Step; callers
+// must not retain it.
+func (s *System) LastVisited() []int { return s.lastVisited }
+
+// LastFlow returns how many agents traversed the arc leaving v through port
+// p during the last completed round. Requires WithFlowRecording.
+func (s *System) LastFlow(v, p int) int64 {
+	return s.flows[s.g.ArcID(v, p)]
+}
+
+// ArcTraversals returns the cumulative number of traversals of the arc
+// leaving v through port p. Requires WithArcCounting.
+func (s *System) ArcTraversals(v, p int) int64 {
+	return s.arcCount[s.g.ArcID(v, p)]
+}
+
+// Step runs one synchronous round with every agent active.
+func (s *System) Step() { s.StepHeld(nil) }
+
+// Run executes the given number of rounds.
+func (s *System) Run(rounds int64) {
+	for i := int64(0); i < rounds; i++ {
+		s.StepHeld(nil)
+	}
+}
+
+// RunUntilCovered steps until every node has been visited, and returns the
+// cover time C (the first round t with all nodes covered). If maxRounds
+// elapse first it returns the rounds spent wrapped in ErrNotCovered.
+func (s *System) RunUntilCovered(maxRounds int64) (int64, error) {
+	for s.covered < s.n {
+		if s.round >= maxRounds {
+			return s.round, fmt.Errorf("%w after %d rounds (%d/%d nodes)",
+				ErrNotCovered, s.round, s.covered, s.n)
+		}
+		s.StepHeld(nil)
+	}
+	return s.coverRound, nil
+}
+
+// touchAgents records the pre-round agent count of v the first time v's
+// count changes in the current round, for end-of-round hash updates.
+func (s *System) touchAgents(v int) {
+	stamp := s.round + 1
+	if s.lastTouch[v] != stamp {
+		s.lastTouch[v] = stamp
+		s.oldCnt[v] = s.agents[v]
+		s.changed = append(s.changed, v)
+	}
+}
+
+// StepHeld runs one round of a delayed deployment D (§2.1): held[v] agents
+// at node v skip their move this round (clamped to the number present). A
+// nil held slice means every agent is active. Held agents do not advance
+// the pointer — exactly the paper's D(v,t) semantics.
+func (s *System) StepHeld(held []int64) {
+	// Zero last round's flow records lazily (touched arcs only).
+	if s.recordFlows {
+		for _, id := range s.flowsTouched {
+			s.flows[id] = 0
+		}
+		s.flowsTouched = s.flowsTouched[:0]
+	}
+
+	// Snapshot sources: moves are based on start-of-round positions.
+	s.srcNode = s.srcNode[:0]
+	s.srcCnt = s.srcCnt[:0]
+	s.changed = s.changed[:0]
+	s.lastVisited = s.lastVisited[:0]
+	anyHeld := false
+	for _, v := range s.occupied {
+		c := s.agents[v]
+		var h int64
+		if held != nil && held[v] > 0 {
+			h = held[v]
+			if h > c {
+				h = c
+			}
+		}
+		if h > 0 {
+			anyHeld = true
+		}
+		s.srcNode = append(s.srcNode, v)
+		s.srcCnt = append(s.srcCnt, c-h)
+		s.touchAgents(v)
+		s.agents[v] = h // held agents stay; arrivals accumulate below
+	}
+
+	// Candidates for the new occupied list: all old sources (which may
+	// retain held agents or receive arrivals) plus all destinations.
+	s.cand = s.cand[:0]
+	s.cand = append(s.cand, s.srcNode...)
+	for _, v := range s.srcNode {
+		s.inOcc[v] = false
+	}
+
+	for i, v := range s.srcNode {
+		m := s.srcCnt[i]
+		if m == 0 {
+			continue
+		}
+		d := int64(s.g.Degree(v))
+		p := int64(s.ptr[v])
+		// The m departing agents use ports p, p+1, ..., p+m-1 (mod d):
+		// port offset j carries ceil((m-j)/d) agents.
+		lim := d
+		if m < d {
+			lim = m
+		}
+		for j := int64(0); j < lim; j++ {
+			cnt := (m - j + d - 1) / d
+			port := int((p + j) % d)
+			dest := s.g.Neighbor(v, port)
+			s.touchAgents(dest)
+			if s.agents[dest] == 0 {
+				s.cand = append(s.cand, dest)
+			}
+			s.agents[dest] += cnt
+			if s.visits[dest] == 0 {
+				s.coveredAt[dest] = s.round + 1
+				s.covered++
+				if s.covered == s.n {
+					s.coverRound = s.round + 1
+				}
+			}
+			s.visits[dest] += cnt
+			if s.visitStamp[dest] != s.round+1 {
+				s.visitStamp[dest] = s.round + 1
+				s.lastVisited = append(s.lastVisited, dest)
+			}
+			if s.recordFlows {
+				id := s.g.ArcID(v, port)
+				if s.flows[id] == 0 {
+					s.flowsTouched = append(s.flowsTouched, id)
+				}
+				s.flows[id] += cnt
+			}
+			if s.recordArcs {
+				s.arcCount[s.g.ArcID(v, port)] += cnt
+			}
+		}
+		s.exits[v] += m
+		newPtr := int32((p + m) % d)
+		s.hash += hashPtr(v, newPtr) - hashPtr(v, s.ptr[v])
+		s.ptr[v] = newPtr
+	}
+
+	// Fold agent-count changes into the incremental hash.
+	for _, v := range s.changed {
+		s.hash += hashCnt(v, s.agents[v]) - hashCnt(v, s.oldCnt[v])
+	}
+
+	// Rebuild the occupied list from candidates.
+	s.occupied = s.occupied[:0]
+	for _, v := range s.cand {
+		if s.agents[v] > 0 && !s.inOcc[v] {
+			s.inOcc[v] = true
+			s.occupied = append(s.occupied, v)
+		}
+	}
+
+	s.round++
+	if !anyHeld {
+		s.fullyActiveRounds++
+	}
+}
+
+// hashPtr is the hash contribution of pointer state (v, p).
+func hashPtr(v int, p int32) uint64 {
+	return xrand.Mix64(uint64(v)<<32 | uint64(uint32(p)) | 1<<63)
+}
+
+// hashCnt is the hash contribution of agent count state (v, c); zero counts
+// contribute nothing so that untouched nodes need no bookkeeping.
+func hashCnt(v int, c int64) uint64 {
+	if c == 0 {
+		return 0
+	}
+	return xrand.Mix64(uint64(v)*0x9e3779b97f4a7c15 + uint64(c))
+}
+
+// fullHash recomputes the configuration hash from scratch.
+func (s *System) fullHash() uint64 {
+	var h uint64
+	for v := 0; v < s.n; v++ {
+		h += hashPtr(v, s.ptr[v])
+		h += hashCnt(v, s.agents[v])
+	}
+	return h
+}
+
+// ConfigHash returns the incrementally maintained hash of the current
+// configuration (pointers and agent positions; visit counters excluded).
+// Equal configurations have equal hashes; unequal ones collide with
+// probability about 2^-64, so cycle detection confirms with StateEqual.
+func (s *System) ConfigHash() uint64 { return s.hash }
+
+// StateEqual reports whether the configurations (pointers and agent
+// multisets) of s and o are identical. Both systems must share a topology.
+func (s *System) StateEqual(o *System) bool {
+	if s.n != o.n {
+		return false
+	}
+	for v := 0; v < s.n; v++ {
+		if s.ptr[v] != o.ptr[v] || s.agents[v] != o.agents[v] {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a deep copy of the system sharing only the immutable graph.
+func (s *System) Clone() *System {
+	c := &System{
+		g:                 s.g,
+		n:                 s.n,
+		k:                 s.k,
+		ptr:               append([]int32(nil), s.ptr...),
+		ptr0:              append([]int32(nil), s.ptr0...),
+		agents:            append([]int64(nil), s.agents...),
+		ag0:               append([]int64(nil), s.ag0...),
+		occupied:          append([]int(nil), s.occupied...),
+		inOcc:             append([]bool(nil), s.inOcc...),
+		visits:            append([]int64(nil), s.visits...),
+		exits:             append([]int64(nil), s.exits...),
+		coveredAt:         append([]int64(nil), s.coveredAt...),
+		covered:           s.covered,
+		coverRound:        s.coverRound,
+		round:             s.round,
+		fullyActiveRounds: s.fullyActiveRounds,
+		hash:              s.hash,
+		lastTouch:         make([]int64, s.n),
+		oldCnt:            make([]int64, s.n),
+		visitStamp:        make([]int64, s.n),
+		recordFlows:       s.recordFlows,
+		recordArcs:        s.recordArcs,
+	}
+	if s.recordFlows {
+		c.flows = append([]int64(nil), s.flows...)
+		c.flowsTouched = append([]int(nil), s.flowsTouched...)
+	}
+	if s.recordArcs {
+		c.arcCount = append([]int64(nil), s.arcCount...)
+	}
+	return c
+}
+
+// Reset restores the initial configuration (agents, pointers) and clears all
+// counters, allowing a fresh run on the same topology without reallocation.
+func (s *System) Reset() {
+	copy(s.ptr, s.ptr0)
+	copy(s.agents, s.ag0)
+	s.occupied = s.occupied[:0]
+	s.covered = 0
+	s.coverRound = -1
+	s.round = 0
+	s.fullyActiveRounds = 0
+	for v := 0; v < s.n; v++ {
+		s.inOcc[v] = false
+		s.exits[v] = 0
+		s.visits[v] = 0
+		s.coveredAt[v] = -1
+		s.lastTouch[v] = 0
+		s.visitStamp[v] = 0
+	}
+	s.lastVisited = s.lastVisited[:0]
+	for v := 0; v < s.n; v++ {
+		if s.agents[v] > 0 {
+			s.occupied = append(s.occupied, v)
+			s.inOcc[v] = true
+			s.visits[v] = s.agents[v]
+			s.coveredAt[v] = 0
+			s.covered++
+		}
+	}
+	if s.covered == s.n {
+		s.coverRound = 0
+	}
+	if s.recordFlows {
+		for i := range s.flows {
+			s.flows[i] = 0
+		}
+		s.flowsTouched = s.flowsTouched[:0]
+	}
+	if s.recordArcs {
+		for i := range s.arcCount {
+			s.arcCount[i] = 0
+		}
+	}
+	s.hash = s.fullHash()
+}

@@ -1,0 +1,201 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// This file analyzes the limit behavior of the rotor-router (paper §4).
+// A rotor-router is a deterministic finite-state system, so from any
+// initialization it eventually cycles through a finite set of
+// configurations. FindLimitCycle locates that cycle with Brent's algorithm
+// (hash-compare fast path, full-state confirmation), MeasureReturnTime
+// computes the paper's return time — the longest interval during which some
+// node stays unvisited in the limit — exactly over one period, and
+// MeasureCirculation verifies the Yanovski et al. Eulerian-circulation
+// property of the single-agent limit.
+
+// ErrNoCycle is returned when the round budget expires before the limit
+// cycle is confirmed.
+var ErrNoCycle = errors.New("core: limit cycle not found within round budget")
+
+// LimitCycle describes the detected limit behavior.
+type LimitCycle struct {
+	// Period is the length λ of the limit cycle in rounds.
+	Period int64
+	// StabilizationRound is μ, the first round whose configuration recurs
+	// forever, or -1 when its computation was not requested.
+	StabilizationRound int64
+	// DetectedAt is the round (of the probe system) at which the cycle was
+	// confirmed; it upper-bounds μ + 2λ up to Brent's power-of-two slack.
+	DetectedAt int64
+}
+
+// FindLimitCycle runs s forward until its configuration provably repeats
+// and returns the cycle parameters. On return, s is parked at a
+// configuration inside the limit cycle. If computeMu is true the exact
+// stabilization round μ is computed with a second pass over a pristine
+// copy of the initial configuration (costing about 2μ extra steps).
+func FindLimitCycle(s *System, maxRounds int64, computeMu bool) (*LimitCycle, error) {
+	var initial *System
+	if computeMu {
+		initial = s.Clone()
+	}
+
+	// Brent's cycle detection: tortoise snapshots at power-of-two rounds.
+	power := int64(1)
+	lam := int64(0)
+	tortoise := s.Clone()
+	start := s.round
+	for {
+		if lam == power {
+			tortoise = s.Clone()
+			power *= 2
+			lam = 0
+		}
+		if s.round-start >= maxRounds {
+			return nil, fmt.Errorf("%w (ran %d rounds)", ErrNoCycle, s.round-start)
+		}
+		s.Step()
+		lam++
+		if s.hash == tortoise.hash && s.StateEqual(tortoise) {
+			break
+		}
+	}
+
+	lc := &LimitCycle{Period: lam, StabilizationRound: -1, DetectedAt: s.round}
+	if computeMu {
+		mu, err := findMu(initial, lam, maxRounds)
+		if err != nil {
+			return nil, err
+		}
+		lc.StabilizationRound = mu
+	}
+	return lc, nil
+}
+
+// findMu advances a pair of copies of the initial configuration, offset by
+// the period, until they coincide; the number of rounds taken is μ.
+func findMu(initial *System, period, maxRounds int64) (int64, error) {
+	lead := initial.Clone()
+	lead.Run(period)
+	mu := int64(0)
+	for !(initial.hash == lead.hash && initial.StateEqual(lead)) {
+		if mu > maxRounds {
+			return 0, fmt.Errorf("%w (μ search exceeded %d rounds)", ErrNoCycle, maxRounds)
+		}
+		initial.Step()
+		lead.Step()
+		mu++
+	}
+	return mu, nil
+}
+
+// ReturnStats summarizes visit recurrence in the limit cycle (paper §4).
+type ReturnStats struct {
+	// Period is the limit-cycle length λ.
+	Period int64
+	// ReturnTime is the paper's return time: the maximum over nodes of the
+	// longest interval (in rounds) during which the node is unvisited,
+	// measured exactly over one period with wraparound.
+	ReturnTime int64
+	// MeanGap is the average over nodes of each node's mean inter-visit
+	// gap, a fairness indicator (≈ period · n / total visits).
+	MeanGap float64
+	// MinNodeVisits and MaxNodeVisits are the extremes of per-node visit
+	// counts within one period.
+	MinNodeVisits int64
+	MaxNodeVisits int64
+}
+
+// MeasureReturnTime finds the limit cycle of s and measures the exact
+// return time over one full period. On return s is parked inside the cycle.
+func MeasureReturnTime(s *System, maxRounds int64) (*ReturnStats, error) {
+	lc, err := FindLimitCycle(s, maxRounds, false)
+	if err != nil {
+		return nil, err
+	}
+	n := s.n
+	first := make([]int64, n)
+	last := make([]int64, n)
+	gap := make([]int64, n)
+	count := make([]int64, n)
+	for v := range first {
+		first[v] = -1
+	}
+	for t := int64(1); t <= lc.Period; t++ {
+		s.Step()
+		for _, v := range s.LastVisited() {
+			if first[v] < 0 {
+				first[v] = t
+			} else if g := t - last[v]; g > gap[v] {
+				gap[v] = g
+			}
+			last[v] = t
+			count[v]++
+		}
+	}
+	stats := &ReturnStats{Period: lc.Period, MinNodeVisits: -1}
+	var meanSum float64
+	for v := 0; v < n; v++ {
+		if first[v] < 0 {
+			return nil, fmt.Errorf("core: node %d is never visited in the limit cycle (period %d)", v, lc.Period)
+		}
+		// Close the cyclic window: the gap across the period boundary.
+		if g := (lc.Period - last[v]) + first[v]; g > gap[v] {
+			gap[v] = g
+		}
+		if gap[v] > stats.ReturnTime {
+			stats.ReturnTime = gap[v]
+		}
+		if stats.MinNodeVisits < 0 || count[v] < stats.MinNodeVisits {
+			stats.MinNodeVisits = count[v]
+		}
+		if count[v] > stats.MaxNodeVisits {
+			stats.MaxNodeVisits = count[v]
+		}
+		meanSum += float64(lc.Period) / float64(count[v])
+	}
+	stats.MeanGap = meanSum / float64(n)
+	return stats, nil
+}
+
+// CirculationStats describes per-arc traffic over one limit-cycle period.
+type CirculationStats struct {
+	// Period is the limit-cycle length λ.
+	Period int64
+	// MinArc and MaxArc are the extremes of per-arc traversal counts in
+	// one period.
+	MinArc int64
+	MaxArc int64
+	// Balanced reports MinArc == MaxArc: the system settled into a
+	// circulation that uses every arc equally often — for a single agent
+	// this is precisely the Eulerian cycle of Ĝ (Yanovski et al. [27]).
+	Balanced bool
+}
+
+// MeasureCirculation finds the limit cycle and counts per-arc traversals
+// over one period. The system must have been created WithArcCounting.
+func MeasureCirculation(s *System, maxRounds int64) (*CirculationStats, error) {
+	if !s.recordArcs {
+		return nil, errors.New("core: MeasureCirculation requires WithArcCounting")
+	}
+	lc, err := FindLimitCycle(s, maxRounds, false)
+	if err != nil {
+		return nil, err
+	}
+	before := append([]int64(nil), s.arcCount...)
+	s.Run(lc.Period)
+	stats := &CirculationStats{Period: lc.Period, MinArc: -1}
+	for i, after := range s.arcCount {
+		d := after - before[i]
+		if stats.MinArc < 0 || d < stats.MinArc {
+			stats.MinArc = d
+		}
+		if d > stats.MaxArc {
+			stats.MaxArc = d
+		}
+	}
+	stats.Balanced = stats.MinArc == stats.MaxArc
+	return stats, nil
+}

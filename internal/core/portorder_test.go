@@ -1,0 +1,75 @@
+package core
+
+import (
+	"testing"
+
+	"rotorring/internal/graph"
+	"rotorring/internal/xrand"
+)
+
+// TestRingPortOrderIrrelevance verifies the remark at the end of §1.3: on
+// the ring there is only one cyclic permutation of the two neighbors of
+// each node, so only the pointer arrangement (not the port labeling)
+// matters. Relabeling ports and mapping the pointers accordingly must yield
+// exactly the same visit dynamics.
+func TestRingPortOrderIrrelevance(t *testing.T) {
+	const n = 30
+	rng := xrand.New(61)
+	g := graph.Ring(n)
+	shuffled := g.ShufflePorts(rng)
+
+	starts := RandomPositions(n, 4, rng)
+	ptr := PointersRandom(g, rng)
+	// Map each pointer to the shuffled graph's port heading to the same
+	// neighbor.
+	ptr2 := make([]int, n)
+	for v := 0; v < n; v++ {
+		target := g.Neighbor(v, ptr[v])
+		p2, ok := shuffled.PortToward(v, target)
+		if !ok {
+			t.Fatalf("no port from %d to %d in shuffled ring", v, target)
+		}
+		ptr2[v] = p2
+	}
+
+	a := newTestSystem(t, g, WithAgentsAt(starts...), WithPointers(ptr))
+	b := newTestSystem(t, shuffled, WithAgentsAt(starts...), WithPointers(ptr2))
+	for round := 0; round < 500; round++ {
+		a.Step()
+		b.Step()
+		for v := 0; v < n; v++ {
+			if a.AgentsAt(v) != b.AgentsAt(v) {
+				t.Fatalf("round %d: dynamics diverged at node %d under port relabeling", round+1, v)
+			}
+			if a.Visits(v) != b.Visits(v) {
+				t.Fatalf("round %d: visit counts diverged at node %d", round+1, v)
+			}
+		}
+	}
+}
+
+// TestHigherDegreePortOrderMatters contrasts the ring remark: on graphs of
+// degree >= 3 the cyclic port order is part of the adversary's power —
+// different orders genuinely change the trajectory.
+func TestHigherDegreePortOrderMatters(t *testing.T) {
+	rng := xrand.New(62)
+	g := graph.Complete(6)
+	shuffled := g.ShufflePorts(rng)
+
+	a := newTestSystem(t, g, WithAgentsAt(0))
+	b := newTestSystem(t, shuffled, WithAgentsAt(0))
+	diverged := false
+	for round := 0; round < 200 && !diverged; round++ {
+		a.Step()
+		b.Step()
+		for v := 0; v < 6; v++ {
+			if a.AgentsAt(v) != b.AgentsAt(v) {
+				diverged = true
+				break
+			}
+		}
+	}
+	if !diverged {
+		t.Fatal("shuffling ports on K_6 never changed the trajectory (expected divergence)")
+	}
+}

@@ -1,0 +1,346 @@
+// Package deploy implements delayed deployments of the multi-agent
+// rotor-router (paper §2.1) and the constructive deployments used in the
+// proofs of Theorems 1–4.
+//
+// A delayed deployment D : V × N → N stops D(v,t) agents at node v in round
+// t. Delays are an analytical device: by Lemma 1 they can only reduce visit
+// counts, and by the slow-down lemma (Lemma 3) a deployment that covers at
+// time T with τ fully-active rounds brackets the undelayed cover time as
+// τ <= C(R[k]) <= T. The Controller here realizes the proofs' "release the
+// agents one by one" choreography on top of core.System's per-round holds,
+// and Theorem1Deployment reproduces the Phase A / Phase B schedule used to
+// show the Θ(n²/log k) worst-case bound (Fig. 2 of the paper).
+package deploy
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"rotorring/internal/continuum"
+	"rotorring/internal/core"
+	"rotorring/internal/graph"
+)
+
+// ErrBudget is returned when a deployment phase exceeds its round budget.
+var ErrBudget = errors.New("deploy: round budget exhausted")
+
+// Controller drives a system as a delayed deployment, maintaining a frozen
+// sub-multiset of agents that is held in place every round.
+type Controller struct {
+	sys    *core.System
+	frozen []int64
+}
+
+// NewController wraps sys with every agent initially free.
+func NewController(sys *core.System) *Controller {
+	return &Controller{
+		sys:    sys,
+		frozen: make([]int64, sys.Graph().NumNodes()),
+	}
+}
+
+// System returns the underlying system.
+func (c *Controller) System() *core.System { return c.sys }
+
+// FreezeAll freezes every agent at its current node.
+func (c *Controller) FreezeAll() {
+	for v := range c.frozen {
+		c.frozen[v] = c.sys.AgentsAt(v)
+	}
+}
+
+// ThawAll releases every agent.
+func (c *Controller) ThawAll() {
+	for v := range c.frozen {
+		c.frozen[v] = 0
+	}
+}
+
+// Release unfreezes count agents at node v.
+func (c *Controller) Release(v int, count int64) error {
+	if v < 0 || v >= len(c.frozen) {
+		return fmt.Errorf("deploy: node %d out of range", v)
+	}
+	if c.frozen[v] < count {
+		return fmt.Errorf("deploy: only %d frozen agents at node %d, need %d", c.frozen[v], v, count)
+	}
+	c.frozen[v] -= count
+	return nil
+}
+
+// FrozenAt returns the number of frozen agents at v.
+func (c *Controller) FrozenAt(v int) int64 { return c.frozen[v] }
+
+// FreeAt returns the number of free (moving) agents at v.
+func (c *Controller) FreeAt(v int) int64 { return c.sys.AgentsAt(v) - c.frozen[v] }
+
+// FreePositions returns the sorted multiset of free agent positions.
+func (c *Controller) FreePositions() []int {
+	var out []int
+	for _, v := range c.sys.Occupied() {
+		for i := int64(0); i < c.FreeAt(v); i++ {
+			out = append(out, v)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Step advances one round, holding the frozen agents.
+func (c *Controller) Step() { c.sys.StepHeld(c.frozen) }
+
+// StepFree advances one round with every agent active (a fully-active round
+// in the sense of Lemma 3).
+func (c *Controller) StepFree() { c.sys.StepHeld(nil) }
+
+// RunUntil steps (holding frozen agents) until pred holds, returning the
+// number of rounds taken. It fails with ErrBudget after maxRounds.
+func (c *Controller) RunUntil(pred func(*core.System) bool, maxRounds int64) (int64, error) {
+	for r := int64(0); ; r++ {
+		if pred(c.sys) {
+			return r, nil
+		}
+		if r >= maxRounds {
+			return r, fmt.Errorf("%w (%d rounds)", ErrBudget, maxRounds)
+		}
+		c.Step()
+	}
+}
+
+// RunFreeUntilArrival releases one agent at from, steps until some free
+// agent reaches target, then freezes everything again. It returns the
+// rounds taken.
+func (c *Controller) RunFreeUntilArrival(from, target int, maxRounds int64) (int64, error) {
+	_, rounds, err := c.RunFreeUntilAny(from, []int{target}, maxRounds)
+	return rounds, err
+}
+
+// RunFreeUntilAny releases one agent at from, steps until some free agent
+// reaches one of the target nodes, then freezes everything again. It
+// returns the target reached and the rounds taken. Multiple stop nodes
+// implement the paper's safety stops (Theorem 4 blocks wandering agents at
+// the antipode of the protected vertex).
+func (c *Controller) RunFreeUntilAny(from int, targets []int, maxRounds int64) (int, int64, error) {
+	if len(targets) == 0 {
+		return 0, 0, fmt.Errorf("deploy: no stop targets")
+	}
+	if err := c.Release(from, 1); err != nil {
+		return 0, 0, err
+	}
+	reached := -1
+	rounds, err := c.RunUntil(func(s *core.System) bool {
+		for _, t := range targets {
+			if c.FreeAt(t) > 0 {
+				reached = t
+				return true
+			}
+		}
+		return false
+	}, maxRounds)
+	c.FreezeAll()
+	return reached, rounds, err
+}
+
+// PhaseKind labels entries of a deployment log.
+type PhaseKind string
+
+// Phases of the Theorem 1 deployment.
+const (
+	PhaseA  PhaseKind = "A"  // initial formation of the desirable configuration
+	PhaseB1 PhaseKind = "B1" // simultaneous release (fully active rounds)
+	PhaseB2 PhaseKind = "B2" // one-by-one position adjustment
+)
+
+// PhaseRecord is one logged deployment phase.
+type PhaseRecord struct {
+	Kind PhaseKind
+	// Rounds spent in the phase.
+	Rounds int64
+	// S is the desirable-configuration length after the phase.
+	S float64
+	// Covered is the number of covered nodes after the phase.
+	Covered int
+}
+
+// Theorem1Result reports a full run of the Phase A/B deployment.
+type Theorem1Result struct {
+	// CoverRounds is the total rounds T until the path was covered.
+	CoverRounds int64
+	// FullyActiveRounds is τ: rounds in which no agent was held. The
+	// slow-down lemma gives τ <= C(R[k]) <= T.
+	FullyActiveRounds int64
+	// Log holds one record per executed phase.
+	Log []PhaseRecord
+	// Profile is the Lemma 13 sequence used for agent positioning.
+	Profile *continuum.Profile
+}
+
+// Theorem1Options tunes the deployment; zero values choose paper-faithful
+// scaled-down defaults that terminate at test scale.
+type Theorem1Options struct {
+	// Kappa scales the length of phase B1 (the paper uses 2·k⁴·a_k·S
+	// rounds; Kappa replaces the k⁴ factor to keep simulations tractable).
+	// Default: k².
+	Kappa float64
+	// S0 is the initial desirable-configuration length. Default:
+	// max(4k, n/16).
+	S0 float64
+	// MaxRounds bounds the whole run. Default: 64·n².
+	MaxRounds int64
+}
+
+// Theorem1Deployment runs the delayed deployment from the proof of
+// Theorem 1 on the n-node path with k agents starting at node 0 and all
+// pointers initialized toward node 0 (the worst case). It maintains
+// desirable configurations of growing length S_j: agent i (counted from the
+// frontier) sits at position round(p_i·S_j) with all visited pointers
+// facing back toward the origin.
+func Theorem1Deployment(n, k int, opts Theorem1Options) (*Theorem1Result, error) {
+	if k <= 3 {
+		return nil, fmt.Errorf("deploy: Theorem1Deployment needs k > 3 (Lemma 13), got %d", k)
+	}
+	if n < 8*k {
+		return nil, fmt.Errorf("deploy: path of %d nodes too short for k=%d", n, k)
+	}
+	prof, err := continuum.LimitProfile(k)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Kappa == 0 {
+		opts.Kappa = float64(k * k * k)
+	}
+	if opts.S0 == 0 {
+		opts.S0 = float64(4 * k)
+		if alt := float64(n) / 16; alt > opts.S0 {
+			opts.S0 = alt
+		}
+	}
+	if opts.MaxRounds == 0 {
+		opts.MaxRounds = 64 * int64(n) * int64(n)
+	}
+
+	g := graph.Path(n)
+	ptr, err := core.PointersTowardNode(g, 0)
+	if err != nil {
+		return nil, err
+	}
+	sys, err := core.NewSystem(g,
+		core.WithAgentsAt(core.AllOnNode(0, k)...),
+		core.WithPointers(ptr))
+	if err != nil {
+		return nil, err
+	}
+	ctl := NewController(sys)
+	res := &Theorem1Result{Profile: prof}
+	prefix := prof.Prefix()
+
+	targets := func(S float64) []int {
+		// targets[i] for i = 1..k (agent 1 = farthest from the origin).
+		// The paper's path is [1, n] with positions p_i·S; on our
+		// 0-indexed path that is node p_i·S − 1.
+		ts := make([]int, k+1)
+		for i := 1; i <= k; i++ {
+			pos := int(prefix[i]*S) - 1
+			if pos >= n {
+				pos = n - 1
+			}
+			if pos < 0 {
+				pos = 0
+			}
+			ts[i] = pos
+		}
+		return ts
+	}
+
+	// Phase A: form the first desirable configuration. Agents leave node 0
+	// one at a time; agent 1 travels farthest. Later agents stop short of
+	// earlier ones, so release order farthest-first keeps the path clear.
+	ctl.FreezeAll()
+	S := opts.S0
+	ts := targets(S)
+	startRound := sys.Round()
+	for i := 1; i <= k; i++ {
+		if _, err := ctl.RunFreeUntilArrival(0, ts[i], opts.MaxRounds); err != nil {
+			return nil, fmt.Errorf("phase A agent %d: %w", i, err)
+		}
+	}
+	res.Log = append(res.Log, PhaseRecord{
+		Kind: PhaseA, Rounds: sys.Round() - startRound, S: S, Covered: sys.Covered(),
+	})
+
+	// Phase B: grow S until the path is covered.
+	for sys.Covered() < n {
+		if sys.Round() > opts.MaxRounds {
+			return nil, fmt.Errorf("%w at S=%.0f (round %d)", ErrBudget, S, sys.Round())
+		}
+
+		// B1: release everything for ceil(kappa·a_k·S) rounds. During
+		// these rounds the frontier advances naturally by about
+		// kappa·a_k/(2a_1) nodes (the √t law of §2.3), carrying every
+		// agent close to its next desirable position, so that B2 is only
+		// a small correction — the paper's ±24k bound.
+		b1 := int64(opts.Kappa*prof.A[k]*S) + 1
+		ctl.ThawAll()
+		startRound = sys.Round()
+		for r := int64(0); r < b1 && sys.Covered() < n; r++ {
+			ctl.StepFree()
+		}
+		// Guard against stagnation at small scale: B1 must make progress
+		// for the deployment to terminate.
+		for sys.Covered() <= int(S) && sys.Covered() < n {
+			ctl.StepFree()
+		}
+		ctl.FreezeAll()
+		res.Log = append(res.Log, PhaseRecord{
+			Kind: PhaseB1, Rounds: sys.Round() - startRound, S: S, Covered: sys.Covered(),
+		})
+		if sys.Covered() >= n {
+			break
+		}
+
+		// B2: the next desirable length is the territory B1 actually
+		// covered (on the path, coverage is the contiguous prefix
+		// [0, covered)); agents adjust one by one (frontier-most first)
+		// to their positions p_i·S.
+		S = float64(sys.Covered())
+		ts = targets(S)
+		startRound = sys.Round()
+		for i := 1; i <= k; i++ {
+			// The i-th agent from the frontier is the i-th occupied
+			// frozen position from the right.
+			from, ok := nthFrozenFromRight(ctl, i)
+			if !ok {
+				return nil, fmt.Errorf("deploy: cannot locate agent %d", i)
+			}
+			if from >= ts[i] {
+				continue // already at or past its target
+			}
+			if _, err := ctl.RunFreeUntilArrival(from, ts[i], opts.MaxRounds); err != nil {
+				return nil, fmt.Errorf("phase B2 agent %d: %w", i, err)
+			}
+		}
+		res.Log = append(res.Log, PhaseRecord{
+			Kind: PhaseB2, Rounds: sys.Round() - startRound, S: S, Covered: sys.Covered(),
+		})
+	}
+
+	res.CoverRounds = sys.Round()
+	res.FullyActiveRounds = sys.FullyActiveRounds()
+	return res, nil
+}
+
+// nthFrozenFromRight returns the node of the i-th frozen agent counting
+// from the highest node index downward (i >= 1).
+func nthFrozenFromRight(c *Controller, i int) (int, bool) {
+	occ := c.System().Occupied()
+	sort.Sort(sort.Reverse(sort.IntSlice(occ)))
+	seen := int64(0)
+	for _, v := range occ {
+		seen += c.FrozenAt(v)
+		if seen >= int64(i) {
+			return v, true
+		}
+	}
+	return 0, false
+}

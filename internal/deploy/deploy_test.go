@@ -1,0 +1,272 @@
+package deploy
+
+import (
+	"errors"
+	"testing"
+
+	"rotorring/internal/core"
+	"rotorring/internal/graph"
+	"rotorring/internal/stats"
+)
+
+func pathSystem(t *testing.T, n, k int) *core.System {
+	t.Helper()
+	g := graph.Path(n)
+	ptr, err := core.PointersTowardNode(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := core.NewSystem(g,
+		core.WithAgentsAt(core.AllOnNode(0, k)...),
+		core.WithPointers(ptr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestControllerFreezeReleaseAccounting(t *testing.T) {
+	s := pathSystem(t, 16, 4)
+	c := NewController(s)
+	if c.FreeAt(0) != 4 {
+		t.Fatalf("free at 0 = %d", c.FreeAt(0))
+	}
+	c.FreezeAll()
+	if c.FreeAt(0) != 0 || c.FrozenAt(0) != 4 {
+		t.Fatalf("freeze: free=%d frozen=%d", c.FreeAt(0), c.FrozenAt(0))
+	}
+	if err := c.Release(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if c.FreeAt(0) != 2 || c.FrozenAt(0) != 2 {
+		t.Fatalf("release: free=%d frozen=%d", c.FreeAt(0), c.FrozenAt(0))
+	}
+	if err := c.Release(0, 3); err == nil {
+		t.Fatal("over-release accepted")
+	}
+	if err := c.Release(99, 1); err == nil {
+		t.Fatal("out-of-range release accepted")
+	}
+	c.ThawAll()
+	if c.FreeAt(0) != 4 {
+		t.Fatalf("thaw: free=%d", c.FreeAt(0))
+	}
+}
+
+func TestFrozenAgentsDoNotMove(t *testing.T) {
+	s := pathSystem(t, 32, 5)
+	c := NewController(s)
+	c.FreezeAll()
+	if err := c.Release(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		c.Step()
+		// Four frozen agents must remain at node 0 forever.
+		if s.AgentsAt(0) < 4 {
+			t.Fatalf("round %d: frozen agents moved (agents at 0: %d)", i+1, s.AgentsAt(0))
+		}
+	}
+	// Exactly one agent wanders.
+	free := c.FreePositions()
+	if len(free) != 1 {
+		t.Fatalf("free positions = %v", free)
+	}
+}
+
+func TestRunFreeUntilArrival(t *testing.T) {
+	s := pathSystem(t, 64, 3)
+	c := NewController(s)
+	c.FreezeAll()
+	rounds, err := c.RunFreeUntilArrival(0, 10, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rounds <= 0 {
+		t.Fatalf("rounds = %d", rounds)
+	}
+	if c.FreeAt(10) != 0 {
+		t.Fatal("arrival did not re-freeze")
+	}
+	if s.AgentsAt(10) != 1 {
+		t.Fatalf("agent not parked at 10: %v", s.Positions())
+	}
+	// The zigzag against reflecting pointers costs about distance².
+	if rounds < 10 || rounds > 500 {
+		t.Errorf("zigzag to distance 10 took %d rounds", rounds)
+	}
+}
+
+func TestRunUntilBudget(t *testing.T) {
+	s := pathSystem(t, 64, 2)
+	c := NewController(s)
+	_, err := c.RunUntil(func(*core.System) bool { return false }, 10)
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("want ErrBudget, got %v", err)
+	}
+}
+
+func TestTheorem1DeploymentValidation(t *testing.T) {
+	if _, err := Theorem1Deployment(100, 2, Theorem1Options{}); err == nil {
+		t.Error("k=2 accepted (Lemma 13 needs k > 3)")
+	}
+	if _, err := Theorem1Deployment(10, 6, Theorem1Options{}); err == nil {
+		t.Error("path too short accepted")
+	}
+}
+
+func TestTheorem1DeploymentCoversAndLogs(t *testing.T) {
+	const (
+		n = 192
+		k = 4
+	)
+	res, err := Theorem1Deployment(n, k, Theorem1Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CoverRounds <= 0 {
+		t.Fatal("no rounds recorded")
+	}
+	if res.FullyActiveRounds <= 0 || res.FullyActiveRounds > res.CoverRounds {
+		t.Fatalf("τ = %d not in (0, %d]", res.FullyActiveRounds, res.CoverRounds)
+	}
+	if len(res.Log) < 3 {
+		t.Fatalf("log too short: %+v", res.Log)
+	}
+	if res.Log[0].Kind != PhaseA {
+		t.Fatalf("first phase = %s", res.Log[0].Kind)
+	}
+	// S must be non-decreasing across the log and reach n by coverage.
+	prevS := 0.0
+	for i, rec := range res.Log {
+		if rec.S < prevS {
+			t.Fatalf("phase %d: S decreased %v -> %v", i, prevS, rec.S)
+		}
+		prevS = rec.S
+		if rec.Rounds < 0 {
+			t.Fatalf("phase %d: negative rounds", i)
+		}
+	}
+	last := res.Log[len(res.Log)-1]
+	if last.Covered != n {
+		t.Fatalf("final phase covered %d/%d", last.Covered, n)
+	}
+}
+
+func TestSlowdownLemmaBracketsUndelayedCoverTime(t *testing.T) {
+	// Lemma 3 applied to the Theorem 1 deployment: τ <= C(R[k]) <= T.
+	const (
+		n = 160
+		k = 4
+	)
+	res, err := Theorem1Deployment(n, k, Theorem1Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	undelayed := pathSystem(t, n, k)
+	cover, err := undelayed.RunUntilCovered(64 * int64(n) * int64(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(res.FullyActiveRounds <= cover && cover <= res.CoverRounds) {
+		t.Fatalf("slow-down lemma violated: τ=%d, C=%d, T=%d",
+			res.FullyActiveRounds, cover, res.CoverRounds)
+	}
+}
+
+func TestTheorem1B1RoundsDominate(t *testing.T) {
+	// In the paper's accounting, Phase B1 (fully active rounds) dominates
+	// the deployment's runtime: B1 ∈ Ω(A) and B1 ∈ Ω(B2). At simulation
+	// scale we check B1 is at least a third of the total.
+	res, err := Theorem1Deployment(256, 5, Theorem1Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var byKind = map[PhaseKind]int64{}
+	for _, rec := range res.Log {
+		byKind[rec.Kind] += rec.Rounds
+	}
+	total := byKind[PhaseA] + byKind[PhaseB1] + byKind[PhaseB2]
+	if total == 0 || byKind[PhaseB1]*3 < total {
+		t.Errorf("phase rounds A=%d B1=%d B2=%d: B1 does not dominate",
+			byKind[PhaseA], byKind[PhaseB1], byKind[PhaseB2])
+	}
+}
+
+func TestWorstCaseCoverScalesAsNSquaredOverLogK(t *testing.T) {
+	// Theorem 1's headline: C = Θ(n²/log k) for the all-on-one-node start
+	// with pointers toward the origin. Check the normalized ratio
+	// C·log₂(k)/n² stays within a modest band while n doubles twice.
+	const k = 4
+	var ratios []float64
+	for _, n := range []int{128, 256, 512} {
+		s := pathSystem(t, n, k)
+		cover, err := s.RunUntilCovered(64 * int64(n) * int64(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ratios = append(ratios, float64(cover)*stats.Harmonic(k)/float64(n*n))
+	}
+	if spread := stats.RatioSpread(ratios); spread > 1.6 {
+		t.Errorf("normalized worst-case cover ratios %v vary by %.2fx", ratios, spread)
+	}
+}
+
+func TestControllerOnRing(t *testing.T) {
+	// The release-one-by-one choreography used by Theorems 2 and 4 runs on
+	// the ring: spread clustered agents to equally spaced positions.
+	const n, k = 64, 4
+	g := graph.Ring(n)
+	ptr, err := core.PointersNegative(g, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := core.NewSystem(g,
+		core.WithAgentsAt(core.AllOnNode(0, k)...),
+		core.WithPointers(ptr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewController(s)
+	c.FreezeAll()
+	for i := 1; i < k; i++ {
+		target := i * n / k
+		if _, err := c.RunFreeUntilArrival(0, target, 1<<22); err != nil {
+			t.Fatalf("agent %d: %v", i, err)
+		}
+		if s.AgentsAt(target) != 1 {
+			t.Fatalf("agent %d not parked at %d: %v", i, target, s.Positions())
+		}
+	}
+	// All agents parked; release everything and confirm coverage finishes
+	// within the best-case budget Θ((n/k)²) with generous constants.
+	c.ThawAll()
+	rounds := int64(0)
+	for s.Covered() < n {
+		c.StepFree()
+		rounds++
+		if rounds > 64*int64(n/k)*int64(n/k) {
+			t.Fatalf("spread configuration did not cover in Θ((n/k)²) time")
+		}
+	}
+}
+
+func TestFreePositionsSorted(t *testing.T) {
+	s := pathSystem(t, 32, 6)
+	c := NewController(s)
+	c.FreezeAll()
+	if err := c.Release(0, 3); err != nil {
+		t.Fatal(err)
+	}
+	c.Step()
+	c.Step()
+	pos := c.FreePositions()
+	if len(pos) != 3 {
+		t.Fatalf("free positions = %v", pos)
+	}
+	for i := 1; i < len(pos); i++ {
+		if pos[i] < pos[i-1] {
+			t.Fatalf("positions not sorted: %v", pos)
+		}
+	}
+}

@@ -1,0 +1,196 @@
+package deploy
+
+import (
+	"fmt"
+	"sort"
+
+	"rotorring/internal/core"
+	"rotorring/internal/graph"
+	"rotorring/internal/remote"
+)
+
+// This file implements the delayed deployment from the proof of Theorem 4
+// (the Ω((n/k)²) cover-time lower bound): starting from an arbitrary
+// placement with negatively initialized pointers, agents are released one
+// by one and parked so that
+//
+//   - every agent ends with a private stretch of at least ~n/(10k) nodes
+//     (so every domain has size Ω(n/k) — the Lemma 8 precondition), and
+//   - a window of ~n/(10k) nodes around a far remote vertex v stays
+//     unexplored.
+//
+// Releasing all agents afterwards, the window must be consumed by agents
+// whose domains already have size Ω(n/k), which takes Ω((n/k)²) rounds —
+// the lower bound. Theorem4Spread performs the parking phase and reports
+// whether the protective window survived it.
+
+// Theorem4Result reports the outcome of the spreading construction.
+type Theorem4Result struct {
+	// RemoteVertex is the far remote vertex v the window protects.
+	RemoteVertex int
+	// WindowIntact reports that no node within distance n/(20k) of v was
+	// visited during the construction.
+	WindowIntact bool
+	// SpreadRounds is the number of (partially delayed) rounds used.
+	SpreadRounds int64
+	// MinSpacing is the minimum ring distance between parked agents.
+	MinSpacing int
+	// Controller holds the parked system (all agents frozen), ready for
+	// the caller to ThawAll and measure the remaining cover time.
+	Controller *Controller
+}
+
+// Theorem4Spread builds the lower-bound configuration on the n-ring with k
+// agents starting from the given positions. It requires a far remote
+// vertex to exist (the paper works with n ≥ 440k²; random placements at
+// n ≳ 100k² usually suffice).
+func Theorem4Spread(n, k int, starts []int) (*Theorem4Result, error) {
+	if len(starts) != k || k < 2 {
+		return nil, fmt.Errorf("deploy: need k >= 2 starting positions, got %d", len(starts))
+	}
+	placement, err := remote.NewPlacement(n, starts)
+	if err != nil {
+		return nil, err
+	}
+	v, ok := placement.FarRemoteVertex(n / (9 * k))
+	if !ok {
+		return nil, fmt.Errorf("deploy: no remote vertex at distance >= n/9k; increase n (paper: n >= 440k²)")
+	}
+
+	g := graph.Ring(n)
+	ptr, err := core.PointersNegative(g, starts)
+	if err != nil {
+		return nil, err
+	}
+	// The adversary knows the placement, hence v, at time 0. Inside the
+	// protected window the pointers form the reflecting barrier of the
+	// theorem: every window node points toward its nearest window border
+	// (where the bordering agents will sit), so whichever agent first
+	// enters the window after the release is sent straight back — the
+	// "negatively initialized" barrier that makes each captured node cost
+	// a full domain traversal.
+	window := n / (20 * k)
+	for d := -window + 1; d < window; d++ {
+		node := ((v+d)%n + n) % n
+		if d >= 0 {
+			ptr[node] = graph.RingCW
+		} else {
+			ptr[node] = graph.RingCCW
+		}
+	}
+	sys, err := core.NewSystem(g, core.WithAgentsAt(starts...), core.WithPointers(ptr))
+	if err != nil {
+		return nil, err
+	}
+	ctl := NewController(sys)
+	ctl.FreezeAll()
+
+	// Split the agents by side of v (clockwise offset 1..n/2 = "right",
+	// else "left") and sort each side by distance from v.
+	type parked struct{ pos, dist int }
+	var left, right []parked
+	for _, s := range starts {
+		cw := (s - v + n) % n
+		if cw == 0 {
+			return nil, fmt.Errorf("deploy: agent starts on the remote vertex")
+		}
+		if cw <= n/2 {
+			right = append(right, parked{pos: s, dist: cw})
+		} else {
+			left = append(left, parked{pos: s, dist: n - cw})
+		}
+	}
+	sort.Slice(right, func(i, j int) bool { return right[i].dist < right[j].dist })
+	sort.Slice(left, func(i, j int) bool { return left[i].dist < left[j].dist })
+
+	// Park each side, exactly as in the paper: the closest agent goes to
+	// distance n/(20k) from v, and the i-th closest (i >= 2) to distance
+	// (i-1)·n/(10k). Definition 2 (v is remote) guarantees the i-th
+	// closest agent starts farther out than its target, so every agent
+	// moves only toward v and its own target shields the window from that
+	// side. A released agent's zigzag also expands AWAY from the target,
+	// and can travel around the far side of the ring — the paper blocks
+	// such wanderers at the antipode v + n/2 and re-parks them in a second
+	// phase at the next free slot of whichever side they drift to.
+	spacing := n / (10 * k)
+	budget := 64 * int64(n) * int64(n)
+	antipode := (v + n/2) % n
+	nextDist := map[int]int{+1: window, -1: window} // next slot distance per side
+	var deferred int                                // agents blocked at the antipode
+
+	park := func(side []parked, dir int) error {
+		for i := range side {
+			ag := side[i]
+			targetDist := nextDist[dir]
+			if ag.dist <= targetDist {
+				// Cannot happen for a remote v; park in place defensively
+				// rather than move outward (which could erode the window).
+				continue
+			}
+			target := ((v+dir*targetDist)%n + n) % n
+			if ctl.FrozenAt(ag.pos) == 0 {
+				return fmt.Errorf("deploy: no frozen agent at %d", ag.pos)
+			}
+			reached, _, err := ctl.RunFreeUntilAny(ag.pos, []int{target, antipode}, budget)
+			if err != nil {
+				return fmt.Errorf("agent %d (side %+d): %w", i, dir, err)
+			}
+			if reached == antipode {
+				deferred++
+				continue
+			}
+			nextDist[dir] = targetDist + spacing
+		}
+		return nil
+	}
+	if err := park(right, +1); err != nil {
+		return nil, err
+	}
+	if err := park(left, -1); err != nil {
+		return nil, err
+	}
+
+	// Second phase: release the blocked agents one by one; each parks at
+	// the first free slot it reaches on either side. Both slots lie
+	// between the agent and the window, so the window stays protected.
+	for ; deferred > 0; deferred-- {
+		slotR := (v + nextDist[+1]) % n
+		slotL := ((v-nextDist[-1])%n + n) % n
+		reached, _, err := ctl.RunFreeUntilAny(antipode, []int{slotR, slotL}, budget)
+		if err != nil {
+			return nil, fmt.Errorf("deferred agent: %w", err)
+		}
+		if reached == slotR {
+			nextDist[+1] += spacing
+		} else {
+			nextDist[-1] += spacing
+		}
+	}
+
+	res := &Theorem4Result{
+		RemoteVertex: v,
+		SpreadRounds: sys.Round(),
+		Controller:   ctl,
+		WindowIntact: true,
+		MinSpacing:   n,
+	}
+	for d := -window + 1; d < window; d++ {
+		if sys.Visits(((v+d)%n+n)%n) > 0 {
+			res.WindowIntact = false
+			break
+		}
+	}
+	positions := sys.Occupied()
+	sort.Ints(positions)
+	for i, p := range positions {
+		q := positions[(i+1)%len(positions)]
+		d := (q - p + n) % n
+		if i == len(positions)-1 {
+			d = (positions[0] + n - p) % n
+		}
+		if d > 0 && d < res.MinSpacing {
+			res.MinSpacing = d
+		}
+	}
+	return res, nil
+}

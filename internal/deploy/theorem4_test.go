@@ -1,0 +1,70 @@
+package deploy
+
+import (
+	"testing"
+
+	"rotorring/internal/core"
+	"rotorring/internal/xrand"
+)
+
+func TestTheorem4SpreadValidation(t *testing.T) {
+	if _, err := Theorem4Spread(100, 2, []int{0}); err == nil {
+		t.Error("mismatched starts accepted")
+	}
+	if _, err := Theorem4Spread(100, 1, []int{0}); err == nil {
+		t.Error("k=1 accepted")
+	}
+}
+
+func TestTheorem4SpreadBuildsLowerBoundConfiguration(t *testing.T) {
+	const k = 4
+	const n = 160 * k * k // comfortably above the remote-vertex threshold
+	rng := xrand.New(2718)
+	starts := core.RandomPositions(n, k, rng)
+	res, err := Theorem4Spread(n, k, starts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.WindowIntact {
+		t.Fatal("protective window around the remote vertex was eroded")
+	}
+	if res.MinSpacing < n/(20*k) {
+		t.Fatalf("agents parked too close: min spacing %d < n/20k = %d", res.MinSpacing, n/(20*k))
+	}
+	if res.SpreadRounds <= 0 {
+		t.Fatal("no spreading rounds recorded")
+	}
+
+	// The Theorem 4 argument: releasing everyone from here, covering the
+	// window costs Ω((n/k)²) rounds since the bordering domains have size
+	// Ω(n/k). Use a conservative constant.
+	sys := res.Controller.System()
+	res.Controller.ThawAll()
+	already := sys.Round()
+	cover, err := sys.RunUntilCovered(already + 64*int64(n/k)*int64(n/k))
+	if err != nil {
+		t.Fatal(err)
+	}
+	remaining := cover - already
+	lower := int64(n/k) * int64(n/k) / 800 // Ω((n/20k)²) with slack
+	if remaining < lower {
+		t.Fatalf("remaining cover time %d below Ω((n/k)²) expectation %d", remaining, lower)
+	}
+}
+
+func TestTheorem4SpreadDeterministic(t *testing.T) {
+	const k = 3
+	const n = 200 * k * k
+	starts := core.RandomPositions(n, k, xrand.New(5))
+	a, err := Theorem4Spread(n, k, starts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Theorem4Spread(n, k, starts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.RemoteVertex != b.RemoteVertex || a.SpreadRounds != b.SpreadRounds {
+		t.Fatal("construction not deterministic")
+	}
+}

@@ -1,0 +1,209 @@
+package expt
+
+import (
+	"fmt"
+
+	"rotorring/internal/core"
+	"rotorring/internal/graph"
+	"rotorring/internal/stats"
+)
+
+// This file implements the paper's forward-looking material: the open
+// question of §1.2 ("a characterization of the behavior of the k-agent
+// rotor-router in general graphs remains an open question", with Yanovski
+// et al.'s experimental observation of nearly-linear speed-up), and the
+// robustness question of [7] (re-stabilization after an edge change).
+
+// expX8 — general-graph speed-up (open question, §1.2): empirically the
+// k-agent rotor-router covers general graphs close to k times faster than
+// one agent, matching Yanovski et al.'s reported experiments.
+func expX8() *Experiment {
+	return &Experiment{
+		ID:       "X8",
+		PaperRef: "§1.2 open question / Yanovski et al. [27] experiments",
+		Claim:    "multi-agent speed-up on general graphs is nearly linear in k",
+		Run: func(cfg Config) (*Result, error) {
+			type topo struct {
+				name string
+				g    *graph.Graph
+			}
+			topos := []topo{
+				{"torus(12x12)", graph.Torus2D(12, 12)},
+				{"grid(12x12)", graph.Grid2D(12, 12)},
+				{"hypercube(7)", graph.Hypercube(7)},
+			}
+			ks := []int{2, 4, 8}
+			seeds := 3
+			if cfg.Scale == Full {
+				topos = append(topos, topo{"torus(24x24)", graph.Torus2D(24, 24)})
+				rr, err := graph.RandomRegular(256, 4, seededRng(cfg.Seed, 256, 4))
+				if err != nil {
+					return nil, err
+				}
+				topos = append(topos, topo{"random-regular(256,4)", rr})
+				ks = []int{2, 4, 8, 16, 32}
+				seeds = 5
+			}
+
+			table := &Table{
+				Title:   "X8: cover-time speed-up of k agents on general graphs (random placement and pointers)",
+				Headers: []string{"graph", "k", "speed-up", "speed-up/k"},
+				Notes: []string{
+					fmt.Sprintf("averaged over %d random initializations; speed-up = mean cover(1)/mean cover(k)", seeds),
+					"the paper leaves general graphs open; [27] reports nearly-linear speed-up experimentally",
+				},
+			}
+
+			meanCover := func(g *graph.Graph, k int, salt uint64) (float64, error) {
+				var total float64
+				for s := 0; s < seeds; s++ {
+					rng := seededRng(cfg.Seed+salt+uint64(s)*101, g.NumNodes(), k)
+					sys, err := core.NewSystem(g,
+						core.WithAgentsAt(core.RandomPositions(g.NumNodes(), k, rng)...),
+						core.WithPointers(core.PointersRandom(g, rng)))
+					if err != nil {
+						return 0, err
+					}
+					cover, err := sys.RunUntilCovered(64 * int64(g.NumNodes()) * int64(g.NumEdges()))
+					if err != nil {
+						return 0, err
+					}
+					total += float64(cover)
+				}
+				return total / float64(seeds), nil
+			}
+
+			var perK []float64
+			for _, tp := range topos {
+				base, err := meanCover(tp.g, 1, 1)
+				if err != nil {
+					return nil, fmt.Errorf("%s: %w", tp.name, err)
+				}
+				for _, k := range ks {
+					ck, err := meanCover(tp.g, k, uint64(k)*977)
+					if err != nil {
+						return nil, fmt.Errorf("%s k=%d: %w", tp.name, k, err)
+					}
+					su := base / ck
+					perK = append(perK, su/float64(k))
+					table.Rows = append(table.Rows, []string{
+						tp.name, fmt.Sprintf("%d", k),
+						fmt.Sprintf("%.2f", su),
+						fmt.Sprintf("%.2f", su/float64(k)),
+					})
+				}
+			}
+			sum, err := stats.Summarize(perK)
+			if err != nil {
+				return nil, err
+			}
+			table.Notes = append(table.Notes,
+				fmt.Sprintf("speed-up/k across all points: %s", sum))
+			// "Nearly linear": every normalized speed-up within a factor
+			// ~3 of 1 (log-factors and topology constants absorbed).
+			check := newShapeCheck("speed-up per agent (want ≈ 1)", perK, 6)
+			check.OK = check.OK && sum.Min > 0.25
+			return &Result{Tables: []*Table{table}, Shapes: []ShapeCheck{check}}, nil
+		},
+	}
+}
+
+// expX9 — robustness ([7], §1.2): after an edge is removed from a
+// stabilized system, the rotor-router re-stabilizes to a new Eulerian-like
+// circulation within O(D·|E|) rounds. We cut the ring into a path,
+// transplanting pointers and agents, and measure the re-lock-in time.
+func expX9() *Experiment {
+	return &Experiment{
+		ID:       "X9",
+		PaperRef: "§1.2 robustness / Bampas et al. [7]",
+		Claim:    "after deleting an edge, the system re-stabilizes within O(D·|E|)",
+		Run: func(cfg Config) (*Result, error) {
+			ns := []int{32, 64, 128}
+			agentCounts := []int{1, 4}
+			if cfg.Scale == Full {
+				ns = append(ns, 256)
+			}
+			table := &Table{
+				Title:   "X9: re-stabilization after cutting the ring into a path",
+				Headers: []string{"n", "k", "μ before cut", "μ after cut", "2D|E| (path)", "after/bound"},
+				Notes:   []string{"the cut removes edge {n-1, 0}; pointers and agent positions carry over"},
+			}
+			worst := 0.0
+			for _, n := range ns {
+				for _, k := range agentCounts {
+					muBefore, muAfter, err := cutAndRestabilize(n, k, cfg.Seed)
+					if err != nil {
+						return nil, err
+					}
+					bound := 2 * (n - 1) * (n - 1) // D = |E| = n-1 on the path
+					ratio := float64(muAfter) / float64(bound)
+					if ratio > worst {
+						worst = ratio
+					}
+					table.Rows = append(table.Rows, []string{
+						fmt.Sprintf("%d", n), fmt.Sprintf("%d", k),
+						fmt.Sprintf("%d", muBefore), fmt.Sprintf("%d", muAfter),
+						fmt.Sprintf("%d", bound), fmt.Sprintf("%.3f", ratio),
+					})
+				}
+			}
+			return &Result{
+				Tables: []*Table{table},
+				Shapes: []ShapeCheck{{
+					Name:   "max re-stabilization / 2D|E|",
+					Spread: worst,
+					Limit:  2,
+					OK:     worst <= 2,
+				}},
+			}, nil
+		},
+	}
+}
+
+// cutAndRestabilize stabilizes k agents on the n-ring, removes the edge
+// {n-1, 0} by transplanting the configuration onto the n-path, and returns
+// the stabilization rounds before and after the cut.
+func cutAndRestabilize(n, k int, seed uint64) (muBefore, muAfter int64, err error) {
+	rng := seededRng(seed, n, k)
+	ring := graph.Ring(n)
+	sys, err := core.NewSystem(ring,
+		core.WithAgentsAt(core.RandomPositions(n, k, rng)...),
+		core.WithPointers(core.PointersRandom(ring, rng)))
+	if err != nil {
+		return 0, 0, err
+	}
+	lc, err := core.FindLimitCycle(sys, 64*int64(n)*int64(n), true)
+	if err != nil {
+		return 0, 0, err
+	}
+	muBefore = lc.StabilizationRound
+
+	// Transplant onto the path. Ring ports: 0 = toward v+1, 1 = toward
+	// v-1. Path ports (graph.Path insertion order): node 0 has only port
+	// 0 -> 1; node n-1 has only port 0 -> n-2; interior v has port 0 ->
+	// v-1 and port 1 -> v+1.
+	path := graph.Path(n)
+	ptr := make([]int, n)
+	counts := make([]int64, n)
+	for v := 0; v < n; v++ {
+		counts[v] = sys.AgentsAt(v)
+		towardNext := sys.Pointer(v) == graph.RingCW
+		switch {
+		case v == 0 || v == n-1:
+			ptr[v] = 0 // single remaining port (the cut endpoint pointers reset)
+		case towardNext:
+			ptr[v] = 1
+		default:
+			ptr[v] = 0
+		}
+	}
+	cut, err := core.NewSystem(path, core.WithAgentCounts(counts), core.WithPointers(ptr))
+	if err != nil {
+		return 0, 0, err
+	}
+	lc2, err := core.FindLimitCycle(cut, 256*int64(n)*int64(n), true)
+	if err != nil {
+		return 0, 0, err
+	}
+	return muBefore, lc2.StabilizationRound, nil
+}

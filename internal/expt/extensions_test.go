@@ -1,0 +1,43 @@
+package expt
+
+import "testing"
+
+func TestCutAndRestabilize(t *testing.T) {
+	muBefore, muAfter, err := cutAndRestabilize(48, 3, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if muBefore < 0 || muAfter < 0 {
+		t.Fatalf("negative stabilization: %d, %d", muBefore, muAfter)
+	}
+	// Bampas et al. style bound for the path: generous 4·D·|E|.
+	bound := int64(4 * 47 * 47)
+	if muAfter > bound {
+		t.Fatalf("re-stabilization %d exceeds bound %d", muAfter, bound)
+	}
+}
+
+func TestCutAndRestabilizeDeterministic(t *testing.T) {
+	b1, a1, err := cutAndRestabilize(32, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, a2, err := cutAndRestabilize(32, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b1 != b2 || a1 != a2 {
+		t.Fatalf("not deterministic: (%d,%d) vs (%d,%d)", b1, a1, b2, a2)
+	}
+}
+
+func TestCutPreservesAgents(t *testing.T) {
+	// The transplant must carry exactly k agents over; cutAndRestabilize
+	// would fail internally if counts were lost (NewSystem rejects zero
+	// agents), but also verify the end-to-end path for several k.
+	for _, k := range []int{1, 2, 5} {
+		if _, _, err := cutAndRestabilize(36, k, uint64(k)); err != nil {
+			t.Errorf("k=%d: %v", k, err)
+		}
+	}
+}

@@ -1,0 +1,260 @@
+// Package graph implements the port-labeled undirected multigraphs on which
+// the rotor-router and random-walk processes run.
+//
+// Following Section 1.3 of Klasing, Kosowski, Pająk and Sauerwald
+// ("The multi-agent rotor-router on the ring", PODC 2013 / Distrib. Comput.
+// 2017), a graph G = (V, E) is undirected and connected; the processes move
+// on the directed symmetric version Ĝ whose arc set is
+// {(u,v), (v,u) : {u,v} ∈ E}. Every node v has a fixed cyclic order ρ_v of
+// its outgoing arcs, represented here by port numbers 0..deg(v)-1; the arc
+// after port p in ρ_v is port (p+1) mod deg(v).
+package graph
+
+import (
+	"errors"
+	"fmt"
+
+	"rotorring/internal/xrand"
+)
+
+// Arc is one directed arc of the symmetric version Ĝ, identified by its tail
+// node and the port it leaves through.
+type Arc struct {
+	// To is the head of the arc.
+	To int
+	// RevPort is the port at To through which the reverse arc (To -> tail)
+	// leaves. It allows O(1) answers to "which port did the agent come in
+	// through", which the domain analysis needs.
+	RevPort int
+}
+
+// Graph is an immutable connected undirected multigraph with port labels.
+// Use a Builder or one of the topology constructors (Ring, Grid2D, ...) to
+// create one. The zero value is an empty graph and not usable.
+type Graph struct {
+	adj  [][]Arc
+	m    int // number of undirected edges
+	name string
+	base []int // base[v] = sum of degrees of nodes < v, for ArcID
+}
+
+// Builder accumulates edges and produces a Graph. Ports are assigned in
+// edge-insertion order: the first edge added at a node gets its port 0.
+type Builder struct {
+	adj  [][]Arc
+	m    int
+	name string
+}
+
+// NewBuilder returns a Builder for a graph with n nodes, labeled 0..n-1.
+func NewBuilder(n int, name string) *Builder {
+	return &Builder{adj: make([][]Arc, n), name: name}
+}
+
+// AddEdge adds the undirected edge {u, v}. Self-loops are rejected
+// (the rotor-router model of the paper has none); parallel edges are
+// permitted, as the model is a multigraph.
+func (b *Builder) AddEdge(u, v int) error {
+	n := len(b.adj)
+	if u < 0 || u >= n || v < 0 || v >= n {
+		return fmt.Errorf("graph: edge {%d,%d} out of range [0,%d)", u, v, n)
+	}
+	if u == v {
+		return fmt.Errorf("graph: self-loop at node %d not supported", u)
+	}
+	pu, pv := len(b.adj[u]), len(b.adj[v])
+	b.adj[u] = append(b.adj[u], Arc{To: v, RevPort: pv})
+	b.adj[v] = append(b.adj[v], Arc{To: u, RevPort: pu})
+	b.m++
+	return nil
+}
+
+// Build validates connectivity and returns the immutable Graph.
+func (b *Builder) Build() (*Graph, error) {
+	g := &Graph{adj: b.adj, m: b.m, name: b.name}
+	if g.NumNodes() == 0 {
+		return nil, errors.New("graph: no nodes")
+	}
+	if !g.Connected() {
+		return nil, fmt.Errorf("graph: %q is not connected", b.name)
+	}
+	g.freezeArcIDs()
+	return g, nil
+}
+
+// freezeArcIDs precomputes the prefix sums of degrees used by ArcID, so that
+// the Graph is safe for concurrent use after construction.
+func (g *Graph) freezeArcIDs() {
+	base := make([]int, len(g.adj)+1)
+	for i, a := range g.adj {
+		base[i+1] = base[i] + len(a)
+	}
+	g.base = base
+}
+
+// mustBuild is used by the topology constructors, whose edge sets are
+// correct by construction.
+func (b *Builder) mustBuild() *Graph {
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Name returns the human-readable topology name (for example "ring(64)").
+func (g *Graph) Name() string { return g.name }
+
+// NumNodes returns |V|.
+func (g *Graph) NumNodes() int { return len(g.adj) }
+
+// NumEdges returns |E| (undirected edges).
+func (g *Graph) NumEdges() int { return g.m }
+
+// NumArcs returns |Ê| = 2|E|, the number of arcs of the directed symmetric
+// version.
+func (g *Graph) NumArcs() int { return 2 * g.m }
+
+// Degree returns deg(v).
+func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+
+// Arc returns the arc leaving v through port p.
+func (g *Graph) Arc(v, p int) Arc { return g.adj[v][p] }
+
+// Neighbor returns the head of the arc leaving v through port p.
+func (g *Graph) Neighbor(v, p int) int { return g.adj[v][p].To }
+
+// Neighbors returns the heads of all arcs out of v, indexed by port.
+// The returned slice is a copy and may be modified by the caller.
+func (g *Graph) Neighbors(v int) []int {
+	out := make([]int, len(g.adj[v]))
+	for p, a := range g.adj[v] {
+		out[p] = a.To
+	}
+	return out
+}
+
+// PortToward returns the lowest-numbered port of v whose arc heads to u, and
+// whether such a port exists.
+func (g *Graph) PortToward(v, u int) (int, bool) {
+	for p, a := range g.adj[v] {
+		if a.To == u {
+			return p, true
+		}
+	}
+	return 0, false
+}
+
+// ArcID returns a dense identifier in [0, NumArcs) for the arc leaving v
+// through port p, usable to index per-arc counters.
+func (g *Graph) ArcID(v, p int) int {
+	return g.base[v] + p
+}
+
+// Connected reports whether the graph is connected (isolated-node graphs of
+// one node count as connected).
+func (g *Graph) Connected() bool {
+	n := g.NumNodes()
+	if n == 0 {
+		return false
+	}
+	seen := make([]bool, n)
+	stack := []int{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, a := range g.adj[v] {
+			if !seen[a.To] {
+				seen[a.To] = true
+				count++
+				stack = append(stack, a.To)
+			}
+		}
+	}
+	return count == n
+}
+
+// BFSDist returns the vector of hop distances from src.
+func (g *Graph) BFSDist(src int) []int {
+	n := g.NumNodes()
+	dist := make([]int, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := make([]int, 0, n)
+	queue = append(queue, src)
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, a := range g.adj[v] {
+			if dist[a.To] < 0 {
+				dist[a.To] = dist[v] + 1
+				queue = append(queue, a.To)
+			}
+		}
+	}
+	return dist
+}
+
+// Diameter returns the graph diameter D = max_{u,v} dist(u,v). It runs a BFS
+// from every node (O(|V|·|E|)), which is fine at simulation scales.
+func (g *Graph) Diameter() int {
+	d := 0
+	for v := 0; v < g.NumNodes(); v++ {
+		for _, x := range g.BFSDist(v) {
+			if x > d {
+				d = x
+			}
+		}
+	}
+	return d
+}
+
+// Validate checks the structural invariants of the port labeling:
+// every arc's RevPort points back to it, and port numbers are dense.
+// Topology constructors are covered by tests; Validate is exported so that
+// user-built graphs (Builder) can be sanity-checked too.
+func (g *Graph) Validate() error {
+	for v := range g.adj {
+		for p, a := range g.adj[v] {
+			if a.To < 0 || a.To >= len(g.adj) {
+				return fmt.Errorf("graph: node %d port %d heads out of range (%d)", v, p, a.To)
+			}
+			back := g.adj[a.To]
+			if a.RevPort < 0 || a.RevPort >= len(back) {
+				return fmt.Errorf("graph: node %d port %d has invalid reverse port %d", v, p, a.RevPort)
+			}
+			rev := back[a.RevPort]
+			if rev.To != v || rev.RevPort != p {
+				return fmt.Errorf("graph: arcs (%d,%d) and reverse disagree: %+v", v, p, rev)
+			}
+		}
+	}
+	return nil
+}
+
+// ShufflePorts returns a copy of g with every node's cyclic port order
+// independently permuted using rng. The paper's adversary fixes the port
+// ordering; shuffling lets tests explore orderings on graphs with degree
+// above 2 (on the ring all cyclic orders coincide, as noted in §1.3).
+func (g *Graph) ShufflePorts(rng *xrand.Rand) *Graph {
+	n := g.NumNodes()
+	ng := &Graph{adj: make([][]Arc, n), m: g.m, name: g.name + "+shuffled"}
+	perm := make([][]int, n) // perm[v][oldPort] = newPort
+	for v := 0; v < n; v++ {
+		d := len(g.adj[v])
+		p := rng.Perm(d)
+		perm[v] = p
+		ng.adj[v] = make([]Arc, d)
+	}
+	for v := 0; v < n; v++ {
+		for oldP, a := range g.adj[v] {
+			ng.adj[v][perm[v][oldP]] = Arc{To: a.To, RevPort: perm[a.To][a.RevPort]}
+		}
+	}
+	ng.freezeArcIDs()
+	return ng
+}

@@ -1,0 +1,398 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"rotorring/internal/xrand"
+)
+
+// allTopologies returns a representative instance of every constructor, for
+// invariant sweeps.
+func allTopologies(t *testing.T) []*Graph {
+	t.Helper()
+	rr, err := RandomRegular(20, 3, xrand.New(1))
+	if err != nil {
+		t.Fatalf("RandomRegular: %v", err)
+	}
+	return []*Graph{
+		Ring(3), Ring(8), Ring(101),
+		Path(2), Path(17),
+		Grid2D(1, 5), Grid2D(4, 4), Grid2D(7, 3),
+		Torus2D(3, 3), Torus2D(5, 4),
+		Complete(2), Complete(6),
+		Star(2), Star(9),
+		Hypercube(1), Hypercube(4),
+		Lollipop(4, 5),
+		CompleteBinaryTree(2), CompleteBinaryTree(4),
+		rr,
+	}
+}
+
+func TestTopologyInvariants(t *testing.T) {
+	for _, g := range allTopologies(t) {
+		g := g
+		t.Run(g.Name(), func(t *testing.T) {
+			if err := g.Validate(); err != nil {
+				t.Fatalf("Validate: %v", err)
+			}
+			if !g.Connected() {
+				t.Fatal("not connected")
+			}
+			// Handshake lemma.
+			degSum := 0
+			for v := 0; v < g.NumNodes(); v++ {
+				degSum += g.Degree(v)
+			}
+			if degSum != 2*g.NumEdges() {
+				t.Fatalf("degree sum %d != 2|E| = %d", degSum, 2*g.NumEdges())
+			}
+			if g.NumArcs() != 2*g.NumEdges() {
+				t.Fatalf("NumArcs %d != 2|E| %d", g.NumArcs(), 2*g.NumEdges())
+			}
+			// ArcID density: all ids distinct and in range.
+			seen := make(map[int]bool, g.NumArcs())
+			for v := 0; v < g.NumNodes(); v++ {
+				for p := 0; p < g.Degree(v); p++ {
+					id := g.ArcID(v, p)
+					if id < 0 || id >= g.NumArcs() {
+						t.Fatalf("ArcID(%d,%d) = %d out of range", v, p, id)
+					}
+					if seen[id] {
+						t.Fatalf("ArcID(%d,%d) = %d duplicated", v, p, id)
+					}
+					seen[id] = true
+				}
+			}
+		})
+	}
+}
+
+func TestRingStructure(t *testing.T) {
+	const n = 12
+	g := Ring(n)
+	if g.NumNodes() != n || g.NumEdges() != n {
+		t.Fatalf("ring(%d): nodes=%d edges=%d", n, g.NumNodes(), g.NumEdges())
+	}
+	for v := 0; v < n; v++ {
+		if g.Degree(v) != 2 {
+			t.Fatalf("ring degree at %d is %d", v, g.Degree(v))
+		}
+		if got := g.Neighbor(v, RingCW); got != (v+1)%n {
+			t.Fatalf("cw neighbor of %d = %d", v, got)
+		}
+		if got := g.Neighbor(v, RingCCW); got != (v-1+n)%n {
+			t.Fatalf("ccw neighbor of %d = %d", v, got)
+		}
+	}
+	if d := g.Diameter(); d != n/2 {
+		t.Fatalf("ring diameter = %d, want %d", d, n/2)
+	}
+}
+
+func TestPathStructure(t *testing.T) {
+	g := Path(9)
+	if g.Diameter() != 8 {
+		t.Fatalf("path(9) diameter = %d", g.Diameter())
+	}
+	if g.Degree(0) != 1 || g.Degree(8) != 1 {
+		t.Fatal("path endpoints must have degree 1")
+	}
+	for v := 1; v < 8; v++ {
+		if g.Degree(v) != 2 {
+			t.Fatalf("path interior degree at %d is %d", v, g.Degree(v))
+		}
+	}
+}
+
+func TestDiameters(t *testing.T) {
+	tests := []struct {
+		g    *Graph
+		want int
+	}{
+		{Ring(10), 5},
+		{Ring(11), 5},
+		{Complete(7), 1},
+		{Star(8), 2},
+		{Hypercube(5), 5},
+		{Grid2D(4, 6), 8},
+		{Torus2D(4, 6), 5},
+		{CompleteBinaryTree(4), 6},
+	}
+	for _, tc := range tests {
+		if got := tc.g.Diameter(); got != tc.want {
+			t.Errorf("%s diameter = %d, want %d", tc.g.Name(), got, tc.want)
+		}
+	}
+}
+
+func TestGridCornerDegrees(t *testing.T) {
+	g := Grid2D(5, 4)
+	wantDeg := map[int]int{
+		0:  2, // corner
+		4:  2,
+		15: 2,
+		19: 2,
+		2:  3, // edge mid
+		7:  4, // interior (x=2,y=1)
+	}
+	for v, want := range wantDeg {
+		if got := g.Degree(v); got != want {
+			t.Errorf("grid degree(%d) = %d, want %d", v, got, want)
+		}
+	}
+}
+
+func TestTorusIsRegular(t *testing.T) {
+	g := Torus2D(5, 7)
+	for v := 0; v < g.NumNodes(); v++ {
+		if g.Degree(v) != 4 {
+			t.Fatalf("torus degree at %d = %d, want 4", v, g.Degree(v))
+		}
+	}
+}
+
+func TestHypercubeIsRegular(t *testing.T) {
+	g := Hypercube(6)
+	if g.NumNodes() != 64 {
+		t.Fatalf("hypercube(6) nodes = %d", g.NumNodes())
+	}
+	for v := 0; v < g.NumNodes(); v++ {
+		if g.Degree(v) != 6 {
+			t.Fatalf("hypercube degree at %d = %d", v, g.Degree(v))
+		}
+	}
+}
+
+func TestBuilderRejectsBadEdges(t *testing.T) {
+	b := NewBuilder(3, "bad")
+	if err := b.AddEdge(0, 3); err == nil {
+		t.Error("out-of-range edge accepted")
+	}
+	if err := b.AddEdge(-1, 0); err == nil {
+		t.Error("negative endpoint accepted")
+	}
+	if err := b.AddEdge(1, 1); err == nil {
+		t.Error("self-loop accepted")
+	}
+}
+
+func TestBuilderRejectsDisconnected(t *testing.T) {
+	b := NewBuilder(4, "disc")
+	if err := b.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddEdge(2, 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Build(); err == nil {
+		t.Fatal("disconnected graph accepted")
+	} else if !strings.Contains(err.Error(), "not connected") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestBuilderAllowsParallelEdges(t *testing.T) {
+	b := NewBuilder(2, "multi")
+	if err := b.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 2 || g.Degree(0) != 2 {
+		t.Fatalf("multigraph: edges=%d deg0=%d", g.NumEdges(), g.Degree(0))
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestPortToward(t *testing.T) {
+	g := Ring(5)
+	p, ok := g.PortToward(2, 3)
+	if !ok || p != RingCW {
+		t.Fatalf("PortToward(2,3) = %d,%v", p, ok)
+	}
+	p, ok = g.PortToward(2, 1)
+	if !ok || p != RingCCW {
+		t.Fatalf("PortToward(2,1) = %d,%v", p, ok)
+	}
+	if _, ok := g.PortToward(2, 4); ok {
+		t.Fatal("PortToward found non-adjacent node")
+	}
+}
+
+func TestBFSDistOnRing(t *testing.T) {
+	g := Ring(8)
+	dist := g.BFSDist(0)
+	want := []int{0, 1, 2, 3, 4, 3, 2, 1}
+	for v, w := range want {
+		if dist[v] != w {
+			t.Errorf("dist[%d] = %d, want %d", v, dist[v], w)
+		}
+	}
+}
+
+func TestNeighborsCopy(t *testing.T) {
+	g := Ring(4)
+	ns := g.Neighbors(0)
+	ns[0] = 99
+	if g.Neighbor(0, 0) == 99 {
+		t.Fatal("Neighbors leaked internal state")
+	}
+}
+
+func TestRandomRegularProperties(t *testing.T) {
+	rng := xrand.New(7)
+	for _, tc := range []struct{ n, d int }{{10, 3}, {24, 4}, {50, 3}} {
+		g, err := RandomRegular(tc.n, tc.d, rng)
+		if err != nil {
+			t.Fatalf("RandomRegular(%d,%d): %v", tc.n, tc.d, err)
+		}
+		for v := 0; v < g.NumNodes(); v++ {
+			if g.Degree(v) != tc.d {
+				t.Fatalf("degree at %d = %d, want %d", v, g.Degree(v), tc.d)
+			}
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("Validate: %v", err)
+		}
+	}
+}
+
+func TestRandomRegularRejectsBadParams(t *testing.T) {
+	rng := xrand.New(1)
+	if _, err := RandomRegular(5, 3, rng); err == nil { // odd n*d
+		t.Error("odd n*d accepted")
+	}
+	if _, err := RandomRegular(4, 4, rng); err == nil { // d >= n
+		t.Error("d >= n accepted")
+	}
+	if _, err := RandomRegular(10, 1, rng); err == nil { // d < 2
+		t.Error("d < 2 accepted")
+	}
+}
+
+func TestShufflePortsPreservesStructure(t *testing.T) {
+	rng := xrand.New(3)
+	for _, g := range []*Graph{Complete(6), Hypercube(4), Grid2D(4, 4)} {
+		sg := g.ShufflePorts(rng)
+		if err := sg.Validate(); err != nil {
+			t.Fatalf("%s shuffled invalid: %v", g.Name(), err)
+		}
+		if sg.NumEdges() != g.NumEdges() {
+			t.Fatalf("%s shuffled changed edge count", g.Name())
+		}
+		// Multisets of neighbors must be preserved per node.
+		for v := 0; v < g.NumNodes(); v++ {
+			a := neighborMultiset(g, v)
+			b := neighborMultiset(sg, v)
+			for u, c := range a {
+				if b[u] != c {
+					t.Fatalf("%s node %d neighbor multiset changed", g.Name(), v)
+				}
+			}
+		}
+	}
+}
+
+func neighborMultiset(g *Graph, v int) map[int]int {
+	m := make(map[int]int)
+	for p := 0; p < g.Degree(v); p++ {
+		m[g.Neighbor(v, p)]++
+	}
+	return m
+}
+
+func TestRingArcReciprocityProperty(t *testing.T) {
+	check := func(raw uint8) bool {
+		n := int(raw%100) + 3
+		g := Ring(n)
+		for v := 0; v < n; v++ {
+			for p := 0; p < 2; p++ {
+				a := g.Arc(v, p)
+				back := g.Arc(a.To, a.RevPort)
+				if back.To != v || back.RevPort != p {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConstructorPanicsOnBadInput(t *testing.T) {
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"Ring(2)", func() { Ring(2) }},
+		{"Path(1)", func() { Path(1) }},
+		{"Grid2D(0,5)", func() { Grid2D(0, 5) }},
+		{"Grid2D(1,1)", func() { Grid2D(1, 1) }},
+		{"Torus2D(2,3)", func() { Torus2D(2, 3) }},
+		{"Complete(1)", func() { Complete(1) }},
+		{"Star(1)", func() { Star(1) }},
+		{"Hypercube(0)", func() { Hypercube(0) }},
+		{"Lollipop(1,1)", func() { Lollipop(1, 1) }},
+		{"CompleteBinaryTree(1)", func() { CompleteBinaryTree(1) }},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", tc.name)
+				}
+			}()
+			tc.fn()
+		})
+	}
+}
+
+func TestLollipopStructure(t *testing.T) {
+	g := Lollipop(5, 4)
+	if g.NumNodes() != 9 {
+		t.Fatalf("nodes = %d", g.NumNodes())
+	}
+	// Clique part: nodes 1..4 have degree 4; node 0 also joins the path.
+	if g.Degree(0) != 5 {
+		t.Fatalf("junction degree = %d", g.Degree(0))
+	}
+	for v := 1; v < 5; v++ {
+		if g.Degree(v) != 4 {
+			t.Fatalf("clique degree at %d = %d", v, g.Degree(v))
+		}
+	}
+	// Path tail: last node degree 1.
+	if g.Degree(8) != 1 {
+		t.Fatalf("tail end degree = %d", g.Degree(8))
+	}
+	if g.Diameter() != 5 {
+		t.Fatalf("diameter = %d", g.Diameter())
+	}
+}
+
+func TestCompleteBinaryTreeStructure(t *testing.T) {
+	g := CompleteBinaryTree(3) // 7 nodes
+	if g.NumNodes() != 7 || g.NumEdges() != 6 {
+		t.Fatalf("nodes=%d edges=%d", g.NumNodes(), g.NumEdges())
+	}
+	if g.Degree(0) != 2 {
+		t.Fatalf("root degree = %d", g.Degree(0))
+	}
+	for v := 3; v < 7; v++ {
+		if g.Degree(v) != 1 {
+			t.Fatalf("leaf %d degree = %d", v, g.Degree(v))
+		}
+	}
+}

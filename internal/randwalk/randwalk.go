@@ -1,0 +1,239 @@
+// Package randwalk implements the parallel random-walk baseline that the
+// paper compares the multi-agent rotor-router against: k agents performing
+// independent simple random walks in synchronous rounds, with no
+// coordination (§1, §3.3).
+//
+// The rotor-router results are deterministic while the random-walk results
+// are statements about expectations, so this package also provides
+// repeated-trial estimators (CoverTimes) running independent walks under
+// deterministic per-trial seeds.
+package randwalk
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"rotorring/internal/graph"
+	"rotorring/internal/xrand"
+)
+
+// ErrNotCovered is returned when a cover-time budget is exhausted.
+var ErrNotCovered = errors.New("randwalk: cover-time budget exhausted")
+
+// Walk is a system of k independent synchronous random walkers.
+type Walk struct {
+	g   *graph.Graph
+	rng *xrand.Rand
+
+	pos     []int // position of each walker
+	visited []bool
+	covered int
+	round   int64
+
+	visits []int64 // arrival counts per node, plus initial placements
+}
+
+// New creates a walk system with the given starting positions. The rng is
+// owned by the walk afterwards.
+func New(g *graph.Graph, positions []int, rng *xrand.Rand) (*Walk, error) {
+	if len(positions) == 0 {
+		return nil, errors.New("randwalk: no walkers placed")
+	}
+	n := g.NumNodes()
+	w := &Walk{
+		g:       g,
+		rng:     rng,
+		pos:     append([]int(nil), positions...),
+		visited: make([]bool, n),
+		visits:  make([]int64, n),
+	}
+	for _, v := range w.pos {
+		if v < 0 || v >= n {
+			return nil, fmt.Errorf("randwalk: position %d out of range [0,%d)", v, n)
+		}
+		if !w.visited[v] {
+			w.visited[v] = true
+			w.covered++
+		}
+		w.visits[v]++
+	}
+	return w, nil
+}
+
+// NumWalkers returns k.
+func (w *Walk) NumWalkers() int { return len(w.pos) }
+
+// Round returns the number of completed rounds.
+func (w *Walk) Round() int64 { return w.round }
+
+// Covered returns the number of distinct nodes visited so far.
+func (w *Walk) Covered() int { return w.covered }
+
+// Visits returns the number of times node v has been visited (including
+// initial placement).
+func (w *Walk) Visits(v int) int64 { return w.visits[v] }
+
+// Positions returns a copy of the walker positions.
+func (w *Walk) Positions() []int { return append([]int(nil), w.pos...) }
+
+// Step moves every walker to a uniformly random neighbor.
+func (w *Walk) Step() {
+	for i, v := range w.pos {
+		d := w.g.Degree(v)
+		var dest int
+		if d == 1 {
+			dest = w.g.Neighbor(v, 0)
+		} else {
+			dest = w.g.Neighbor(v, w.rng.Intn(d))
+		}
+		w.pos[i] = dest
+		w.visits[dest]++
+		if !w.visited[dest] {
+			w.visited[dest] = true
+			w.covered++
+		}
+	}
+	w.round++
+}
+
+// Run executes the given number of rounds.
+func (w *Walk) Run(rounds int64) {
+	for i := int64(0); i < rounds; i++ {
+		w.Step()
+	}
+}
+
+// RunUntilCovered steps until every node has been visited and returns the
+// cover time. If maxRounds elapse first it returns ErrNotCovered.
+func (w *Walk) RunUntilCovered(maxRounds int64) (int64, error) {
+	n := w.g.NumNodes()
+	for w.covered < n {
+		if w.round >= maxRounds {
+			return w.round, fmt.Errorf("%w after %d rounds (%d/%d nodes)",
+				ErrNotCovered, w.round, w.covered, n)
+		}
+		w.Step()
+	}
+	return w.round, nil
+}
+
+// CoverTimes runs independent trials of the cover time of k synchronous
+// random walks from the given positions, using deterministic per-trial
+// seeds derived from seed. Trials run in parallel across workers (bounded
+// by GOMAXPROCS). It fails if any trial exhausts maxRounds.
+func CoverTimes(g *graph.Graph, positions []int, trials int, seed uint64, maxRounds int64) ([]int64, error) {
+	if trials <= 0 {
+		return nil, errors.New("randwalk: trials must be positive")
+	}
+	times := make([]int64, trials)
+	errs := make([]error, trials)
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > trials {
+		workers = trials
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for t := range next {
+				rng := xrand.New(seed + uint64(t)*0x9e3779b97f4a7c15)
+				w, err := New(g, positions, rng)
+				if err != nil {
+					errs[t] = err
+					continue
+				}
+				times[t], errs[t] = w.RunUntilCovered(maxRounds)
+			}
+		}()
+	}
+	for t := 0; t < trials; t++ {
+		next <- t
+	}
+	close(next)
+	wg.Wait()
+
+	for t, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("trial %d: %w", t, err)
+		}
+	}
+	return times, nil
+}
+
+// GapStats summarizes the recurrence of visits in a long window.
+type GapStats struct {
+	// Window is the number of observed rounds.
+	Window int64
+	// MaxGap is the longest observed interval during which some node was
+	// unvisited (nodes never visited in the window count as Window).
+	MaxGap int64
+	// MeanGap is the average over nodes of window/visits — the empirical
+	// mean return time, which on the ring is n/k in expectation.
+	MeanGap float64
+}
+
+// MeasureGaps runs the walk for burnIn rounds, then observes window rounds
+// and reports recurrence statistics.
+func (w *Walk) MeasureGaps(burnIn, window int64) GapStats {
+	w.Run(burnIn)
+	n := w.g.NumNodes()
+	lastSeen := make([]int64, n) // 0 = window start
+	maxGap := make([]int64, n)
+	count := make([]int64, n)
+	for t := int64(1); t <= window; t++ {
+		w.Step()
+		for _, v := range w.pos {
+			if g := t - lastSeen[v]; g > maxGap[v] {
+				maxGap[v] = g
+			}
+			lastSeen[v] = t
+			count[v]++
+		}
+	}
+	var stats GapStats
+	stats.Window = window
+	var meanSum float64
+	for v := 0; v < n; v++ {
+		if g := window - lastSeen[v]; g > maxGap[v] {
+			maxGap[v] = g
+		}
+		if maxGap[v] > stats.MaxGap {
+			stats.MaxGap = maxGap[v]
+		}
+		if count[v] > 0 {
+			meanSum += float64(window) / float64(count[v])
+		} else {
+			meanSum += float64(window)
+		}
+	}
+	stats.MeanGap = meanSum / float64(n)
+	return stats
+}
+
+// HittingTime runs until some walker first reaches target, returning the
+// number of rounds taken (0 if a walker starts there). It returns an error
+// if maxRounds elapse first.
+func (w *Walk) HittingTime(target int, maxRounds int64) (int64, error) {
+	for _, v := range w.pos {
+		if v == target {
+			return 0, nil
+		}
+	}
+	start := w.round
+	for {
+		if w.round-start >= maxRounds {
+			return 0, fmt.Errorf("randwalk: target %d not hit within %d rounds", target, maxRounds)
+		}
+		w.Step()
+		for _, v := range w.pos {
+			if v == target {
+				return w.round - start, nil
+			}
+		}
+	}
+}

@@ -1,0 +1,213 @@
+package randwalk
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"rotorring/internal/core"
+	"rotorring/internal/graph"
+	"rotorring/internal/stats"
+	"rotorring/internal/xrand"
+)
+
+func TestNewValidation(t *testing.T) {
+	g := graph.Ring(8)
+	if _, err := New(g, nil, xrand.New(1)); err == nil {
+		t.Error("empty placement accepted")
+	}
+	if _, err := New(g, []int{9}, xrand.New(1)); err == nil {
+		t.Error("out-of-range placement accepted")
+	}
+}
+
+func TestWalkerConservationAndAdjacency(t *testing.T) {
+	g := graph.Grid2D(5, 5)
+	w, err := New(g, []int{0, 12, 24}, xrand.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := w.Positions()
+	for round := 0; round < 500; round++ {
+		w.Step()
+		cur := w.Positions()
+		if len(cur) != 3 {
+			t.Fatalf("walker count changed: %v", cur)
+		}
+		for i := range cur {
+			// Every move must follow an edge.
+			if _, ok := g.PortToward(prev[i], cur[i]); !ok {
+				t.Fatalf("round %d: walker %d jumped %d -> %d", round+1, i, prev[i], cur[i])
+			}
+		}
+		prev = cur
+	}
+}
+
+func TestDeterministicUnderSeed(t *testing.T) {
+	g := graph.Ring(32)
+	a, _ := New(g, []int{0, 16}, xrand.New(42))
+	b, _ := New(g, []int{0, 16}, xrand.New(42))
+	for i := 0; i < 1000; i++ {
+		a.Step()
+		b.Step()
+	}
+	pa, pb := a.Positions(), b.Positions()
+	for i := range pa {
+		if pa[i] != pb[i] {
+			t.Fatalf("same-seed walks diverged: %v vs %v", pa, pb)
+		}
+	}
+}
+
+func TestRunUntilCoveredBudget(t *testing.T) {
+	g := graph.Ring(1000)
+	w, _ := New(g, []int{0}, xrand.New(1))
+	if _, err := w.RunUntilCovered(10); !errors.Is(err, ErrNotCovered) {
+		t.Fatalf("want ErrNotCovered, got %v", err)
+	}
+}
+
+func TestSingleWalkCoverTimeOnRing(t *testing.T) {
+	// The expected cover time of a single random walk on C_n is exactly
+	// n(n-1)/2. With n=64 and 200 trials the sample mean should land
+	// within ~10% of 2016.
+	const n = 64
+	g := graph.Ring(n)
+	times, err := CoverTimes(g, []int{0}, 200, 12345, 1<<24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := stats.MeanInt64(times)
+	want := float64(n*(n-1)) / 2
+	if math.Abs(mean-want)/want > 0.12 {
+		t.Fatalf("mean cover time %.0f, theory %.0f", mean, want)
+	}
+}
+
+func TestCompleteGraphCoverIsCouponCollector(t *testing.T) {
+	// On K_n a single walk covers in about (n-1)·H_{n-1} rounds (coupon
+	// collector over the other n-1 nodes).
+	const n = 32
+	g := graph.Complete(n)
+	times, err := CoverTimes(g, []int{0}, 300, 99, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := stats.MeanInt64(times)
+	want := float64(n-1) * stats.Harmonic(n-1)
+	if math.Abs(mean-want)/want > 0.15 {
+		t.Fatalf("mean cover time %.1f, coupon collector %.1f", mean, want)
+	}
+}
+
+func TestMoreWalkersCoverFaster(t *testing.T) {
+	const n = 256
+	g := graph.Ring(n)
+	mean := func(k int) float64 {
+		times, err := CoverTimes(g, core.EquallySpaced(n, k), 24, 7, 1<<26)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats.MeanInt64(times)
+	}
+	m1, m4, m16 := mean(1), mean(4), mean(16)
+	if !(m1 > m4 && m4 > m16) {
+		t.Fatalf("cover times not decreasing in k: %v, %v, %v", m1, m4, m16)
+	}
+	// Theorem 5: best-case speedup is Θ(k²/log²k); even a crude check
+	// should see far better than 2x from k=1 to k=4.
+	if m1/m4 < 3 {
+		t.Errorf("k=4 speedup only %.2f", m1/m4)
+	}
+}
+
+func TestCoverTimesRejectsBadTrials(t *testing.T) {
+	g := graph.Ring(8)
+	if _, err := CoverTimes(g, []int{0}, 0, 1, 100); err == nil {
+		t.Error("zero trials accepted")
+	}
+}
+
+func TestCoverTimesDeterministicAcrossRuns(t *testing.T) {
+	g := graph.Ring(64)
+	a, err := CoverTimes(g, []int{0, 32}, 16, 5, 1<<24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CoverTimes(g, []int{0, 32}, 16, 5, 1<<24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("trial %d differs across runs: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestMeasureGapsMeanIsNOverK(t *testing.T) {
+	// Each of the k walks has uniform stationary distribution on the ring,
+	// so the expected time between successive visits to a node is n/k
+	// (§4, final remarks).
+	const (
+		n = 64
+		k = 4
+	)
+	g := graph.Ring(n)
+	w, _ := New(g, core.EquallySpaced(n, k), xrand.New(11))
+	gs := w.MeasureGaps(10*n, 200_000)
+	want := float64(n) / float64(k)
+	if math.Abs(gs.MeanGap-want)/want > 0.10 {
+		t.Fatalf("mean gap %.2f, want about %.2f", gs.MeanGap, want)
+	}
+	// The max gap has high variance but must exceed the mean.
+	if gs.MaxGap < int64(gs.MeanGap) {
+		t.Fatalf("max gap %d below mean gap %.2f", gs.MaxGap, gs.MeanGap)
+	}
+}
+
+func TestHittingTime(t *testing.T) {
+	g := graph.Ring(32)
+	w, _ := New(g, []int{5}, xrand.New(9))
+	if ht, err := w.HittingTime(5, 10); err != nil || ht != 0 {
+		t.Fatalf("hitting own start: %d, %v", ht, err)
+	}
+	ht, err := w.HittingTime(20, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ht <= 0 {
+		t.Fatalf("hitting time %d", ht)
+	}
+	w2, _ := New(g, []int{0}, xrand.New(1))
+	if _, err := w2.HittingTime(16, 3); err == nil {
+		t.Error("budget exhaustion not reported")
+	}
+}
+
+func TestVisitsCountArrivals(t *testing.T) {
+	g := graph.Ring(16)
+	w, _ := New(g, []int{3, 3}, xrand.New(2))
+	if w.Visits(3) != 2 {
+		t.Fatalf("initial visits = %d", w.Visits(3))
+	}
+	w.Run(100)
+	var total int64
+	for v := 0; v < 16; v++ {
+		total += w.Visits(v)
+	}
+	// 2 initial placements + 2 walkers × 100 rounds.
+	if total != 2+200 {
+		t.Fatalf("total visits = %d", total)
+	}
+}
+
+func TestDegreeOneNodesFollowOnlyEdge(t *testing.T) {
+	g := graph.Star(6)
+	w, _ := New(g, []int{1}, xrand.New(4))
+	w.Step()
+	if w.Positions()[0] != 0 {
+		t.Fatal("leaf walker did not move to hub")
+	}
+}

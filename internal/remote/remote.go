@@ -1,0 +1,136 @@
+// Package remote implements the remote vertices of Definition 2 (§3.2) and
+// the census bound of Lemma 15.
+//
+// For a placement S = {s_1, ..., s_k} of k agents on the n-ring, a vertex v
+// is remote when, for every radius index 1 <= r <= k, each of the two arcs
+// [v, v + r·n/(10k)] and [v − r·n/(10k), v] contains at most r starting
+// positions. Remote vertices are guaranteed to be slow to cover: they are
+// the pivot of the rotor-router lower bound (Theorem 4) and of the
+// random-walk lower bound (Lemmas 17 and 18). Lemma 15 shows at least
+// 0.8n − o(n) vertices are remote for any placement when k = ω(1).
+package remote
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Placement is a precomputed, queryable agent placement on the n-ring.
+type Placement struct {
+	n      int
+	k      int
+	sorted []int // starting positions, sorted, possibly with repeats
+}
+
+// NewPlacement validates and indexes a placement of agents on an n-ring.
+func NewPlacement(n int, starts []int) (*Placement, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("remote: ring size %d", n)
+	}
+	if len(starts) == 0 {
+		return nil, fmt.Errorf("remote: empty placement")
+	}
+	sorted := append([]int(nil), starts...)
+	sort.Ints(sorted)
+	if sorted[0] < 0 || sorted[len(sorted)-1] >= n {
+		return nil, fmt.Errorf("remote: position out of range [0,%d)", n)
+	}
+	return &Placement{n: n, k: len(starts), sorted: sorted}, nil
+}
+
+// N returns the ring size.
+func (p *Placement) N() int { return p.n }
+
+// K returns the number of agents.
+func (p *Placement) K() int { return p.k }
+
+// CountIn returns how many starting positions lie on the clockwise arc from
+// a to b inclusive (a, b taken mod n). The arc from a to b is the set
+// {a, a+1, ..., b} walking clockwise.
+func (p *Placement) CountIn(a, b int) int {
+	a = ((a % p.n) + p.n) % p.n
+	b = ((b % p.n) + p.n) % p.n
+	if a <= b {
+		return p.countRange(a, b)
+	}
+	// Wrapping arc: [a, n-1] plus [0, b].
+	return p.countRange(a, p.n-1) + p.countRange(0, b)
+}
+
+// countRange counts positions in the plain interval [lo, hi].
+func (p *Placement) countRange(lo, hi int) int {
+	from := sort.SearchInts(p.sorted, lo)
+	to := sort.SearchInts(p.sorted, hi+1)
+	return to - from
+}
+
+// IsRemote reports whether v satisfies both constraints of Definition 2:
+// for all 1 <= r <= k, the arcs [v, v + r·n/(10k)] and [v − r·n/(10k), v]
+// each contain at most r starting positions.
+func (p *Placement) IsRemote(v int) bool {
+	for r := 1; r <= p.k; r++ {
+		radius := r * p.n / (10 * p.k)
+		if p.CountIn(v, v+radius) > r {
+			return false
+		}
+		if p.CountIn(v-radius, v) > r {
+			return false
+		}
+	}
+	return true
+}
+
+// RemoteVertices returns all remote vertices in increasing order.
+func (p *Placement) RemoteVertices() []int {
+	var out []int
+	for v := 0; v < p.n; v++ {
+		if p.IsRemote(v) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// CountRemote returns the number of remote vertices (the quantity Lemma 15
+// bounds below by 0.8n − o(n)).
+func (p *Placement) CountRemote() int {
+	count := 0
+	for v := 0; v < p.n; v++ {
+		if p.IsRemote(v) {
+			count++
+		}
+	}
+	return count
+}
+
+// DistanceToNearestAgent returns the ring distance from v to the closest
+// starting position; Theorem 4 works with remote vertices at distance at
+// least n/(9k) from every agent.
+func (p *Placement) DistanceToNearestAgent(v int) int {
+	best := p.n
+	for _, s := range p.sorted {
+		d := s - v
+		if d < 0 {
+			d = -d
+		}
+		if p.n-d < d {
+			d = p.n - d
+		}
+		if d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// FarRemoteVertex returns a remote vertex at distance at least minDist from
+// every starting position, or ok=false if none exists. Theorem 4 uses
+// minDist = n/(9k).
+func (p *Placement) FarRemoteVertex(minDist int) (int, bool) {
+	for v := 0; v < p.n; v++ {
+		if p.DistanceToNearestAgent(v) >= minDist && p.IsRemote(v) {
+			return v, true
+		}
+	}
+	return 0, false
+}

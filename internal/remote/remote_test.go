@@ -1,0 +1,203 @@
+package remote
+
+import (
+	"testing"
+
+	"rotorring/internal/core"
+	"rotorring/internal/xrand"
+)
+
+func TestNewPlacementValidation(t *testing.T) {
+	if _, err := NewPlacement(0, []int{0}); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := NewPlacement(10, nil); err == nil {
+		t.Error("empty placement accepted")
+	}
+	if _, err := NewPlacement(10, []int{10}); err == nil {
+		t.Error("out-of-range start accepted")
+	}
+	if _, err := NewPlacement(10, []int{-1}); err == nil {
+		t.Error("negative start accepted")
+	}
+}
+
+func TestCountIn(t *testing.T) {
+	p, err := NewPlacement(20, []int{0, 5, 5, 10, 19})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		a, b, want int
+	}{
+		{0, 4, 1},   // just node 0
+		{0, 5, 3},   // 0 and the two 5s
+		{5, 10, 3},  // 5,5,10
+		{11, 19, 1}, // 19
+		{19, 0, 2},  // wrap: 19 and 0
+		{15, 5, 4},  // wrap: 19, 0, 5, 5
+		{6, 9, 0},
+		{-1, 0, 2}, // negative a normalizes to 19
+	}
+	for _, tc := range cases {
+		if got := p.CountIn(tc.a, tc.b); got != tc.want {
+			t.Errorf("CountIn(%d,%d) = %d, want %d", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestCountInBruteForce(t *testing.T) {
+	rng := xrand.New(17)
+	for trial := 0; trial < 50; trial++ {
+		n := 10 + rng.Intn(50)
+		k := 1 + rng.Intn(10)
+		starts := core.RandomPositions(n, k, rng)
+		p, err := NewPlacement(n, starts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, b := rng.Intn(n), rng.Intn(n)
+		want := 0
+		for off := 0; ; off++ {
+			v := (a + off) % n
+			for _, s := range starts {
+				if s == v {
+					want++
+				}
+			}
+			if v == b {
+				break
+			}
+		}
+		if got := p.CountIn(a, b); got != want {
+			t.Fatalf("trial %d (n=%d): CountIn(%d,%d) = %d, brute force %d",
+				trial, n, a, b, got, want)
+		}
+	}
+}
+
+func TestAntipodeOfSingleClusterIsRemote(t *testing.T) {
+	// All agents on node 0 of a large ring: the antipode must be remote,
+	// and nodes within the cluster must not be (for r=1 the arc already
+	// catches more than 1 start).
+	const n, k = 1000, 10
+	p, err := NewPlacement(n, core.AllOnNode(0, k))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.IsRemote(n / 2) {
+		t.Error("antipode not remote")
+	}
+	if p.IsRemote(0) {
+		t.Error("cluster center is remote")
+	}
+	// Nodes just before the cluster (the arc [v, v+r·n/10k] catches all
+	// 10 starts at radius r=1 of width 10): not remote.
+	if p.IsRemote(n - 1) {
+		t.Error("node adjacent to cluster is remote")
+	}
+}
+
+func TestEquallySpacedMostVerticesRemote(t *testing.T) {
+	// With equal spacing, every arc of length r·n/(10k) contains at most
+	// r/10 + 1 starts <= r for r >= 2... in fact all vertices should be
+	// remote except possibly none. Check the census is the full ring.
+	const n, k = 1200, 12
+	p, err := NewPlacement(n, core.EquallySpaced(n, k))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.CountRemote(); got != n {
+		t.Errorf("equally spaced: %d/%d vertices remote", got, n)
+	}
+}
+
+func TestLemma15Census(t *testing.T) {
+	// Lemma 15: for k = ω(1), at least 0.8n − o(n) vertices are remote for
+	// ANY placement. Try adversarial-ish placements at simulation scale.
+	const n = 4000
+	const k = 40
+	rng := xrand.New(5)
+	placements := map[string][]int{
+		"all-on-one":      core.AllOnNode(0, k),
+		"equally-spaced":  core.EquallySpaced(n, k),
+		"uniform-random":  core.RandomPositions(n, k, rng),
+		"two-clusters":    append(core.AllOnNode(0, k/2), core.AllOnNode(n/2, k/2)...),
+		"geometric-burst": geometricBurst(n, k),
+	}
+	for name, starts := range placements {
+		p, err := NewPlacement(n, starts)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got := p.CountRemote(); got < int(0.8*float64(n)) {
+			t.Errorf("%s: only %d/%d remote vertices (Lemma 15 wants >= %d - o(n))",
+				name, got, n, int(0.8*float64(n)))
+		}
+	}
+}
+
+// geometricBurst clusters agents at geometrically spaced positions, a
+// placement that stresses multiple radii r simultaneously.
+func geometricBurst(n, k int) []int {
+	starts := make([]int, 0, k)
+	pos := 1
+	for len(starts) < k {
+		starts = append(starts, pos%n)
+		pos *= 2
+		if pos >= n {
+			pos = pos%n + 1
+		}
+	}
+	return starts
+}
+
+func TestDistanceToNearestAgent(t *testing.T) {
+	p, err := NewPlacement(100, []int{10, 90})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[int]int{10: 0, 90: 0, 50: 40, 0: 10, 99: 9, 11: 1}
+	for v, want := range cases {
+		if got := p.DistanceToNearestAgent(v); got != want {
+			t.Errorf("dist(%d) = %d, want %d", v, got, want)
+		}
+	}
+}
+
+func TestFarRemoteVertexExists(t *testing.T) {
+	// Theorem 4 setup: with n >= 440k² there is a remote vertex at
+	// distance >= n/(9k) from every agent.
+	const k = 4
+	const n = 440 * k * k
+	rng := xrand.New(23)
+	for trial := 0; trial < 10; trial++ {
+		starts := core.RandomPositions(n, k, rng)
+		p, err := NewPlacement(n, starts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, ok := p.FarRemoteVertex(n / (9 * k))
+		if !ok {
+			t.Fatalf("trial %d: no far remote vertex", trial)
+		}
+		if p.DistanceToNearestAgent(v) < n/(9*k) || !p.IsRemote(v) {
+			t.Fatalf("trial %d: vertex %d does not satisfy requirements", trial, v)
+		}
+	}
+}
+
+func TestRemoteVerticesMatchesCount(t *testing.T) {
+	p, err := NewPlacement(500, core.AllOnNode(100, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.RemoteVertices()) != p.CountRemote() {
+		t.Fatal("RemoteVertices and CountRemote disagree")
+	}
+	for _, v := range p.RemoteVertices() {
+		if !p.IsRemote(v) {
+			t.Fatalf("listed vertex %d not remote", v)
+		}
+	}
+}

@@ -1,0 +1,307 @@
+// Package ringdom implements the agent-domain analysis of §2.2 of the paper
+// for rotor-router systems running on the ring.
+//
+// When multiple agents patrol a ring, the visited nodes partition into
+// domains: the domain of an agent is the sub-path of nodes for which that
+// agent was the last visitor. The paper derives the partition from the
+// pointer directions (Lemma 4): for a visited node v without an agent,
+// o(v,t) is the first node holding an agent in the direction opposite to
+// v's pointer, and v belongs to the domain anchored there. Nodes holding an
+// agent anchor their own domain; a node holding two agents splits the
+// surrounding sub-path in two (one domain per agent). Unvisited nodes form
+// the dummy domain V⊥.
+//
+// The lazy domain V'_a(t) (Definition 1) keeps only nodes whose last visit
+// was by a single agent and was a propagation — a visit after which the
+// agent continued in its direction of travel rather than bouncing back.
+// Lazy domains are insensitive to the one-node oscillation of borders and
+// are the object of the convergence result (Lemma 12) behind the
+// return-time theorem. Tracker follows a live system round by round and
+// classifies every visit as propagation or reflection from the arc flows.
+package ringdom
+
+import (
+	"errors"
+	"fmt"
+
+	"rotorring/internal/core"
+	"rotorring/internal/graph"
+)
+
+// Unanchored marks nodes of the dummy domain V⊥ (never visited).
+const Unanchored = -1
+
+// Domain is one agent domain: a contiguous arc of the ring.
+type Domain struct {
+	// Anchor is the node holding the domain's agent.
+	Anchor int
+	// Half distinguishes the two domains anchored at a node holding two
+	// agents (0 = the domain containing the anchor per the paper's pointer
+	// rule, 1 = the other side); it is always 0 for single-agent anchors.
+	Half int
+	// Start is the first node of the arc in clockwise order.
+	Start int
+	// Size is the number of nodes in the arc (>= 1 unless the domain is a
+	// bare split-half, which can be empty).
+	Size int
+}
+
+// End returns the last node of the arc in clockwise order.
+func (d Domain) End(n int) int { return (d.Start + d.Size - 1 + n) % n }
+
+// Contains reports whether node v lies on the domain's arc of an n-ring.
+func (d Domain) Contains(v, n int) bool {
+	if d.Size == 0 {
+		return false
+	}
+	offset := (v - d.Start + n) % n
+	return offset < d.Size
+}
+
+// Partition is a full decomposition of the ring at one instant.
+type Partition struct {
+	// N is the ring size.
+	N int
+	// Domains lists the agent domains in clockwise ring order starting
+	// from the first anchor at or after node 0.
+	Domains []Domain
+	// Unvisited is the total size of the dummy domain V⊥.
+	Unvisited int
+	// ownerIdx[v] is the index into Domains owning v, or -1 for V⊥.
+	ownerIdx []int
+}
+
+// OwnerOf returns the index (into Domains) of the domain owning v, or -1
+// when v is unvisited.
+func (p *Partition) OwnerOf(v int) int { return p.ownerIdx[v] }
+
+// ringOf checks that the system runs on a ring built by graph.Ring and
+// returns its size.
+func ringOf(sys *core.System) (int, error) {
+	g := sys.Graph()
+	n := g.NumNodes()
+	if g.NumEdges() != n {
+		return 0, errors.New("ringdom: system is not on a ring")
+	}
+	for v := 0; v < n; v++ {
+		if g.Degree(v) != 2 || g.Neighbor(v, graph.RingCW) != (v+1)%n {
+			return 0, errors.New("ringdom: system is not on a graph.Ring topology")
+		}
+	}
+	return n, nil
+}
+
+// Domains computes the domain partition of the current configuration
+// (Lemma 4 and the split rule of §2.2). It returns an error if the
+// structure predicted by the paper is violated: more than two agents on a
+// node, or a non-contiguous domain.
+func Domains(sys *core.System) (*Partition, error) {
+	n, err := ringOf(sys)
+	if err != nil {
+		return nil, err
+	}
+
+	occupied := make([]bool, n)
+	anyAgent := false
+	for v := 0; v < n; v++ {
+		c := sys.AgentsAt(v)
+		if c > 2 {
+			return nil, fmt.Errorf("ringdom: %d agents at node %d (domains need <= 2, Lemma 5)", c, v)
+		}
+		if c > 0 {
+			occupied[v] = true
+			anyAgent = true
+		}
+	}
+	if !anyAgent {
+		return nil, errors.New("ringdom: no agents on the ring")
+	}
+
+	// nearest occupied node strictly before v (anticlockwise scan) and
+	// strictly after v (clockwise scan), cyclically.
+	prevOcc := make([]int, n)
+	nextOcc := make([]int, n)
+	last := -1
+	for v := 0; v < 2*n; v++ {
+		i := v % n
+		if last >= 0 {
+			prevOcc[i] = last
+		} else {
+			prevOcc[i] = -1
+		}
+		if occupied[i] {
+			last = i
+		}
+	}
+	last = -1
+	for v := 2*n - 1; v >= 0; v-- {
+		i := v % n
+		if last >= 0 {
+			nextOcc[i] = last
+		} else {
+			nextOcc[i] = -1
+		}
+		if occupied[i] {
+			last = i
+		}
+	}
+
+	// o(v) per Lemma 4: the first agent-holding node in the direction
+	// opposite to v's pointer. Pointer RingCW points to v+1, so the
+	// opposite direction scans v-1, v-2, ...
+	owner := make([]int, n)
+	for v := 0; v < n; v++ {
+		switch {
+		case occupied[v]:
+			owner[v] = v
+		case sys.Visits(v) == 0:
+			owner[v] = Unanchored
+		case sys.Pointer(v) == graph.RingCW:
+			owner[v] = prevOcc[v]
+		default:
+			owner[v] = nextOcc[v]
+		}
+	}
+
+	return assemble(sys, n, owner, occupied)
+}
+
+// assemble groups nodes by owner into contiguous arcs, applying the
+// two-agent split rule, and validates contiguity.
+func assemble(sys *core.System, n int, owner []int, occupied []bool) (*Partition, error) {
+	p := &Partition{N: n, ownerIdx: make([]int, n)}
+	for v := range p.ownerIdx {
+		p.ownerIdx[v] = -1
+	}
+
+	// Walk the ring clockwise starting just after an anchor, emitting one
+	// domain per (anchor, half). Each anchor u owns the contiguous run of
+	// nodes v with owner[v] = u; by Lemma 4 the run containing u extends
+	// from some node anticlockwise of u through u to some node clockwise
+	// of u. For two agents at u the run splits at u per the pointer rule.
+	firstAnchor := -1
+	for v := 0; v < n; v++ {
+		if occupied[v] {
+			firstAnchor = v
+			break
+		}
+	}
+
+	// Collect run boundaries: iterate nodes in clockwise order from
+	// firstAnchor, accumulating runs of equal owner.
+	type run struct {
+		owner int
+		start int
+		size  int
+	}
+	var runs []run
+	for off := 0; off < n; off++ {
+		v := (firstAnchor + off) % n
+		o := owner[v]
+		if len(runs) > 0 && runs[len(runs)-1].owner == o {
+			runs[len(runs)-1].size++
+			continue
+		}
+		runs = append(runs, run{owner: o, start: v, size: 1})
+	}
+	// Merge a wrapped run (same owner at both ends of the walk). Starting
+	// at an anchor makes this impossible unless there is a single owner.
+	if len(runs) > 1 && runs[0].owner == runs[len(runs)-1].owner {
+		lastRun := runs[len(runs)-1]
+		runs[0].start = lastRun.start
+		runs[0].size += lastRun.size
+		runs = runs[:len(runs)-1]
+	}
+
+	seen := make(map[int]bool, len(runs))
+	for _, r := range runs {
+		if r.owner == Unanchored {
+			p.Unvisited += r.size
+			continue
+		}
+		if seen[r.owner] {
+			return nil, fmt.Errorf("ringdom: domain of anchor %d is not contiguous (Lemma 4 violated)", r.owner)
+		}
+		seen[r.owner] = true
+		u := r.owner
+		offU := (u - r.start + n) % n // anchor's offset within the run
+		if offU >= r.size {
+			return nil, fmt.Errorf("ringdom: anchor %d lies outside its own domain (Lemma 4 violated)", u)
+		}
+		if sys.AgentsAt(u) == 2 {
+			// Split at the anchor: the anticlockwise part gets the anchor
+			// when the pointer at u points clockwise, and vice versa
+			// (§2.2, definition of V_a and V_b).
+			ccwSize := offU             // nodes strictly anticlockwise of u
+			cwSize := r.size - offU - 1 // nodes strictly clockwise of u
+			if sys.Pointer(u) == graph.RingCW {
+				p.addDomain(Domain{Anchor: u, Half: 0, Start: r.start, Size: ccwSize + 1})
+				p.addDomain(Domain{Anchor: u, Half: 1, Start: (u + 1) % n, Size: cwSize})
+			} else {
+				p.addDomain(Domain{Anchor: u, Half: 0, Start: r.start, Size: ccwSize})
+				p.addDomain(Domain{Anchor: u, Half: 1, Start: u, Size: cwSize + 1})
+			}
+			continue
+		}
+		p.addDomain(Domain{Anchor: u, Half: 0, Start: r.start, Size: r.size})
+	}
+	return p, nil
+}
+
+func (p *Partition) addDomain(d Domain) {
+	idx := len(p.Domains)
+	p.Domains = append(p.Domains, d)
+	for off := 0; off < d.Size; off++ {
+		p.ownerIdx[(d.Start+off)%p.N] = idx
+	}
+}
+
+// Sizes returns the domain sizes in ring order.
+func (p *Partition) Sizes() []int {
+	out := make([]int, len(p.Domains))
+	for i, d := range p.Domains {
+		out[i] = d.Size
+	}
+	return out
+}
+
+// MinSize returns the smallest domain size (0 if a split half is empty).
+func (p *Partition) MinSize() int {
+	if len(p.Domains) == 0 {
+		return 0
+	}
+	m := p.Domains[0].Size
+	for _, d := range p.Domains[1:] {
+		if d.Size < m {
+			m = d.Size
+		}
+	}
+	return m
+}
+
+// MaxAdjacentDiff returns the largest absolute size difference between
+// domains that are adjacent in ring order (wrapping around only when the
+// whole ring is covered). With fewer than two domains it returns 0.
+func (p *Partition) MaxAdjacentDiff() int {
+	k := len(p.Domains)
+	if k < 2 {
+		return 0
+	}
+	maxDiff := 0
+	limit := k
+	if p.Unvisited > 0 {
+		limit = k - 1 // the arc through V⊥ does not make domains adjacent
+	}
+	for i := 0; i < limit; i++ {
+		a := p.Domains[i].Size
+		b := p.Domains[(i+1)%k].Size
+		d := a - b
+		if d < 0 {
+			d = -d
+		}
+		if d > maxDiff {
+			maxDiff = d
+		}
+	}
+	return maxDiff
+}

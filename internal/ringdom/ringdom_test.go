@@ -1,0 +1,261 @@
+package ringdom
+
+import (
+	"testing"
+
+	"rotorring/internal/core"
+	"rotorring/internal/graph"
+	"rotorring/internal/xrand"
+)
+
+func ringSystem(t *testing.T, n int, opts ...core.Option) *core.System {
+	t.Helper()
+	s, err := core.NewSystem(graph.Ring(n), opts...)
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	return s
+}
+
+func TestDomainsRejectsNonRing(t *testing.T) {
+	s, err := core.NewSystem(graph.Path(6), core.WithAgentsAt(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Domains(s); err == nil {
+		t.Fatal("path accepted as ring")
+	}
+	s2, err := core.NewSystem(graph.Complete(4), core.WithAgentsAt(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Domains(s2); err == nil {
+		t.Fatal("complete graph accepted as ring")
+	}
+}
+
+func TestSingleAgentDomainCoversVisitedArc(t *testing.T) {
+	const n = 16
+	s := ringSystem(t, n,
+		core.WithAgentsAt(0),
+		core.WithPointers(core.PointersUniform(graph.Ring(n), graph.RingCW)))
+	s.Run(5) // agent at node 5, nodes 0..5 visited
+	p, err := Domains(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Domains) != 1 {
+		t.Fatalf("domains = %+v", p.Domains)
+	}
+	d := p.Domains[0]
+	if d.Anchor != 5 {
+		t.Fatalf("anchor = %d", d.Anchor)
+	}
+	if d.Size != 6 || d.Start != 0 {
+		t.Fatalf("domain arc = start %d size %d, want start 0 size 6", d.Start, d.Size)
+	}
+	if p.Unvisited != n-6 {
+		t.Fatalf("unvisited = %d", p.Unvisited)
+	}
+	for v := 0; v <= 5; v++ {
+		if p.OwnerOf(v) != 0 {
+			t.Fatalf("node %d not owned by domain 0", v)
+		}
+	}
+	for v := 6; v < n; v++ {
+		if p.OwnerOf(v) != -1 {
+			t.Fatalf("unvisited node %d has owner %d", v, p.OwnerOf(v))
+		}
+	}
+}
+
+func TestPartitionSizesSumToVisited(t *testing.T) {
+	rng := xrand.New(11)
+	for trial := 0; trial < 20; trial++ {
+		n := 24 + rng.Intn(60)
+		k := 2 + rng.Intn(5)
+		g := graph.Ring(n)
+		positions := core.EquallySpaced(n, k)
+		ptr, err := core.PointersNegative(g, positions)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := ringSystem(t, n, core.WithAgentsAt(positions...), core.WithPointers(ptr))
+		s.Run(int64(rng.Intn(4 * n)))
+		p, err := Domains(s)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		total := 0
+		for _, d := range p.Domains {
+			total += d.Size
+		}
+		if total+p.Unvisited != n {
+			t.Fatalf("trial %d: domains %d + unvisited %d != n %d", trial, total, p.Unvisited, n)
+		}
+		// Owner index consistency.
+		for v := 0; v < n; v++ {
+			idx := p.OwnerOf(v)
+			if idx == -1 {
+				if s.Visits(v) != 0 {
+					t.Fatalf("trial %d: visited node %d unowned", trial, v)
+				}
+				continue
+			}
+			if !p.Domains[idx].Contains(v, n) {
+				t.Fatalf("trial %d: node %d not inside its domain %+v", trial, v, p.Domains[idx])
+			}
+		}
+	}
+}
+
+func TestDomainsWithTwoAgentsOnOneNodeSplit(t *testing.T) {
+	// Build a state with two agents on the same node by construction and
+	// check the split rule directly.
+	const n = 12
+	ptr := make([]int, n) // all clockwise
+	s := ringSystem(t, n, core.WithAgentsAt(6, 6), core.WithPointers(ptr))
+	p, err := Domains(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Domains) != 2 {
+		t.Fatalf("domains = %+v", p.Domains)
+	}
+	var sizes int
+	for _, d := range p.Domains {
+		if d.Anchor != 6 {
+			t.Fatalf("anchor = %d", d.Anchor)
+		}
+		sizes += d.Size
+	}
+	// Only node 6 is visited at t=0: the two halves share it.
+	if sizes != 1 {
+		t.Fatalf("split sizes sum to %d, want 1", sizes)
+	}
+	// Pointer at 6 is clockwise, so half 0 (anticlockwise side) holds the
+	// anchor.
+	if p.Domains[0].Half != 0 || p.Domains[0].Size != 1 {
+		t.Fatalf("half-0 domain = %+v", p.Domains[0])
+	}
+}
+
+func TestLemma5AtMostTwoAgentsPerNodePreserved(t *testing.T) {
+	// Lemma 5: if at some time every node holds at most 2 agents, this
+	// stays true forever (ring only).
+	rng := xrand.New(5)
+	for trial := 0; trial < 10; trial++ {
+		n := 16 + rng.Intn(32)
+		g := graph.Ring(n)
+		// Place k <= n agents with at most 2 per node.
+		counts := make([]int64, n)
+		k := 0
+		for v := 0; v < n && k < 8; v++ {
+			if rng.Intn(3) == 0 {
+				c := 1 + rng.Intn(2)
+				counts[v] = int64(c)
+				k += c
+			}
+		}
+		if k == 0 {
+			counts[0] = 1
+		}
+		s := ringSystem(t, n,
+			core.WithAgentCounts(counts),
+			core.WithPointers(core.PointersRandom(g, rng)))
+		for round := 0; round < 200; round++ {
+			s.Step()
+			for v := 0; v < n; v++ {
+				if s.AgentsAt(v) > 2 {
+					t.Fatalf("trial %d round %d: %d agents at node %d",
+						trial, round+1, s.AgentsAt(v), v)
+				}
+			}
+		}
+	}
+}
+
+func TestDomainsErrorOnThreeAgentsPerNode(t *testing.T) {
+	s := ringSystem(t, 8, core.WithAgentsAt(2, 2, 2))
+	if _, err := Domains(s); err == nil {
+		t.Fatal("three agents on one node accepted")
+	}
+}
+
+func TestDomainContainsAndEnd(t *testing.T) {
+	d := Domain{Anchor: 2, Start: 10, Size: 4} // nodes 10, 11, 0, 1 on a 12-ring
+	n := 12
+	for _, v := range []int{10, 11, 0, 1} {
+		if !d.Contains(v, n) {
+			t.Errorf("domain should contain %d", v)
+		}
+	}
+	for _, v := range []int{2, 9, 5} {
+		if d.Contains(v, n) {
+			t.Errorf("domain should not contain %d", v)
+		}
+	}
+	if d.End(n) != 1 {
+		t.Errorf("End = %d", d.End(n))
+	}
+	empty := Domain{Start: 3, Size: 0}
+	if empty.Contains(3, n) {
+		t.Error("empty domain contains a node")
+	}
+}
+
+func TestDomainsEventuallyEqualize(t *testing.T) {
+	// After coverage and stabilization, the k domains approach size n/k
+	// (the mechanism behind Theorem 6). Run well past coverage and check
+	// every domain is within a factor 2 of n/k.
+	const (
+		n = 240
+		k = 4
+	)
+	g := graph.Ring(n)
+	positions := core.EquallySpaced(n, k)
+	ptr, err := core.PointersNegative(g, positions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := ringSystem(t, n, core.WithAgentsAt(positions...), core.WithPointers(ptr))
+	if _, err := s.RunUntilCovered(int64(n) * int64(n)); err != nil {
+		t.Fatal(err)
+	}
+	s.Run(int64(20 * n))
+	p, err := Domains(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Domains) != k {
+		t.Fatalf("expected %d domains, got %+v", k, p.Domains)
+	}
+	for _, d := range p.Domains {
+		if d.Size < n/k/2 || d.Size > 2*n/k {
+			t.Errorf("domain %+v far from n/k = %d", d, n/k)
+		}
+	}
+}
+
+func TestMaxAdjacentDiffAndMinSize(t *testing.T) {
+	p := &Partition{
+		N: 30,
+		Domains: []Domain{
+			{Anchor: 0, Start: 0, Size: 10},
+			{Anchor: 12, Start: 10, Size: 13},
+			{Anchor: 25, Start: 23, Size: 7},
+		},
+	}
+	if p.MinSize() != 7 {
+		t.Fatalf("MinSize = %d", p.MinSize())
+	}
+	// Fully covered ring: adjacency wraps. |10-13|=3, |13-7|=6, |7-10|=3.
+	if got := p.MaxAdjacentDiff(); got != 6 {
+		t.Fatalf("MaxAdjacentDiff = %d", got)
+	}
+	// With unvisited territory the wrap pair is not adjacent.
+	p.Unvisited = 5
+	if got := p.MaxAdjacentDiff(); got != 6 {
+		t.Fatalf("MaxAdjacentDiff with gap = %d", got)
+	}
+}

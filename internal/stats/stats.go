@@ -1,0 +1,249 @@
+// Package stats provides the small statistical toolkit used by the
+// experiment harness: summary statistics for repeated random-walk trials,
+// least-squares fits for scaling-law verification, and the ratio-spread
+// measure used to decide whether a normalized quantity is "flat" across a
+// parameter sweep (the Θ-shape criterion of DESIGN.md §5.7).
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned by functions that need at least one sample.
+var ErrEmpty = errors.New("stats: empty sample")
+
+// Mean returns the arithmetic mean of xs, or NaN for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance (n-1 denominator), or NaN
+// for fewer than two samples.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs)-1)
+}
+
+// StdDev returns the sample standard deviation.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// StdErr returns the standard error of the mean.
+func StdErr(xs []float64) float64 {
+	if len(xs) < 2 {
+		return math.NaN()
+	}
+	return StdDev(xs) / math.Sqrt(float64(len(xs)))
+}
+
+// Median returns the sample median.
+func Median(xs []float64) float64 { return Quantile(xs, 0.5) }
+
+// Quantile returns the q-quantile (0 <= q <= 1) using linear interpolation
+// between order statistics, or NaN for an empty slice.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Min returns the smallest element; NaN for an empty slice.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest element; NaN for an empty slice.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// RatioSpread returns Max/Min of a slice of positive values: the factor by
+// which a supposedly constant normalized quantity actually varies over a
+// sweep. Returns NaN if the slice is empty or contains non-positive values.
+func RatioSpread(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	lo, hi := xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x <= 0 || math.IsNaN(x) {
+			return math.NaN()
+		}
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	if lo <= 0 {
+		return math.NaN()
+	}
+	return hi / lo
+}
+
+// Summary bundles the usual descriptive statistics of a sample.
+type Summary struct {
+	N            int
+	Mean, StdErr float64
+	Min, Max     float64
+	Median       float64
+	Q25, Q75     float64
+}
+
+// Summarize computes a Summary. It returns ErrEmpty for an empty sample.
+func Summarize(xs []float64) (Summary, error) {
+	if len(xs) == 0 {
+		return Summary{}, ErrEmpty
+	}
+	return Summary{
+		N:      len(xs),
+		Mean:   Mean(xs),
+		StdErr: StdErr(xs),
+		Min:    Min(xs),
+		Max:    Max(xs),
+		Median: Median(xs),
+		Q25:    Quantile(xs, 0.25),
+		Q75:    Quantile(xs, 0.75),
+	}, nil
+}
+
+// String renders the summary compactly.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g±%.2g median=%.4g range=[%.4g,%.4g]",
+		s.N, s.Mean, s.StdErr, s.Median, s.Min, s.Max)
+}
+
+// Fit is the result of an ordinary least-squares line fit y = Slope·x +
+// Intercept.
+type Fit struct {
+	Slope, Intercept float64
+	// R2 is the coefficient of determination; 1 means a perfect fit.
+	R2 float64
+}
+
+// LinearFit computes the least-squares line through (xs[i], ys[i]). It
+// returns an error unless there are at least two distinct x values.
+func LinearFit(xs, ys []float64) (Fit, error) {
+	if len(xs) != len(ys) {
+		return Fit{}, fmt.Errorf("stats: mismatched lengths %d and %d", len(xs), len(ys))
+	}
+	if len(xs) < 2 {
+		return Fit{}, errors.New("stats: need at least two points")
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxx, sxy, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return Fit{}, errors.New("stats: all x values identical")
+	}
+	slope := sxy / sxx
+	fit := Fit{Slope: slope, Intercept: my - slope*mx}
+	if syy == 0 {
+		fit.R2 = 1 // y constant and the fit reproduces it exactly
+	} else {
+		fit.R2 = sxy * sxy / (sxx * syy)
+	}
+	return fit, nil
+}
+
+// LogLogSlope fits log(y) against log(x) and returns the exponent estimate:
+// the b̂ in y ≈ a·x^b. All values must be positive.
+func LogLogSlope(xs, ys []float64) (Fit, error) {
+	if len(xs) != len(ys) {
+		return Fit{}, fmt.Errorf("stats: mismatched lengths %d and %d", len(xs), len(ys))
+	}
+	lx := make([]float64, len(xs))
+	ly := make([]float64, len(ys))
+	for i := range xs {
+		if xs[i] <= 0 || ys[i] <= 0 {
+			return Fit{}, fmt.Errorf("stats: non-positive value at index %d", i)
+		}
+		lx[i] = math.Log(xs[i])
+		ly[i] = math.Log(ys[i])
+	}
+	return LinearFit(lx, ly)
+}
+
+// Harmonic returns the k-th harmonic number H_k = 1 + 1/2 + ... + 1/k.
+func Harmonic(k int) float64 {
+	h := 0.0
+	for i := 1; i <= k; i++ {
+		h += 1 / float64(i)
+	}
+	return h
+}
+
+// MeanInt64 is a convenience for integer-valued observations.
+func MeanInt64(xs []int64) float64 {
+	fs := make([]float64, len(xs))
+	for i, x := range xs {
+		fs[i] = float64(x)
+	}
+	return Mean(fs)
+}
+
+// Floats converts integer observations to float64s for the other helpers.
+func Floats(xs []int64) []float64 {
+	fs := make([]float64, len(xs))
+	for i, x := range xs {
+		fs[i] = float64(x)
+	}
+	return fs
+}

@@ -1,0 +1,224 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"rotorring/internal/xrand"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestMeanVarianceKnownValues(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); !almostEqual(m, 5, 1e-12) {
+		t.Fatalf("mean = %v", m)
+	}
+	if v := Variance(xs); !almostEqual(v, 32.0/7.0, 1e-12) {
+		t.Fatalf("variance = %v", v)
+	}
+	if sd := StdDev(xs); !almostEqual(sd, math.Sqrt(32.0/7.0), 1e-12) {
+		t.Fatalf("stddev = %v", sd)
+	}
+}
+
+func TestEmptyAndSmallSamples(t *testing.T) {
+	if !math.IsNaN(Mean(nil)) {
+		t.Error("Mean(nil) not NaN")
+	}
+	if !math.IsNaN(Variance([]float64{1})) {
+		t.Error("Variance of single sample not NaN")
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Error("Quantile(nil) not NaN")
+	}
+	if !math.IsNaN(RatioSpread(nil)) {
+		t.Error("RatioSpread(nil) not NaN")
+	}
+	if _, err := Summarize(nil); err == nil {
+		t.Error("Summarize(nil) did not error")
+	}
+}
+
+func TestMedianAndQuantiles(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if m := Median(xs); !almostEqual(m, 2, 1e-12) {
+		t.Fatalf("median = %v", m)
+	}
+	xs = []float64{4, 1, 3, 2}
+	if m := Median(xs); !almostEqual(m, 2.5, 1e-12) {
+		t.Fatalf("median = %v", m)
+	}
+	if q := Quantile(xs, 0); !almostEqual(q, 1, 1e-12) {
+		t.Fatalf("q0 = %v", q)
+	}
+	if q := Quantile(xs, 1); !almostEqual(q, 4, 1e-12) {
+		t.Fatalf("q1 = %v", q)
+	}
+	if q := Quantile(xs, 0.25); !almostEqual(q, 1.75, 1e-12) {
+		t.Fatalf("q25 = %v", q)
+	}
+}
+
+func TestQuantileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Quantile(xs, 0.5)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatal("Quantile sorted the caller's slice")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 0}
+	if Min(xs) != -1 || Max(xs) != 7 {
+		t.Fatalf("min/max = %v/%v", Min(xs), Max(xs))
+	}
+}
+
+func TestRatioSpread(t *testing.T) {
+	if r := RatioSpread([]float64{2, 4, 8}); !almostEqual(r, 4, 1e-12) {
+		t.Fatalf("spread = %v", r)
+	}
+	if r := RatioSpread([]float64{5}); !almostEqual(r, 1, 1e-12) {
+		t.Fatalf("single-element spread = %v", r)
+	}
+	if !math.IsNaN(RatioSpread([]float64{1, 0, 2})) {
+		t.Error("non-positive value did not yield NaN")
+	}
+}
+
+func TestLinearFitExactLine(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{5, 7, 9, 11} // y = 2x + 3
+	fit, err := LinearFit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(fit.Slope, 2, 1e-12) || !almostEqual(fit.Intercept, 3, 1e-12) {
+		t.Fatalf("fit = %+v", fit)
+	}
+	if !almostEqual(fit.R2, 1, 1e-12) {
+		t.Fatalf("r2 = %v", fit.R2)
+	}
+}
+
+func TestLinearFitNoisyLine(t *testing.T) {
+	rng := xrand.New(3)
+	var xs, ys []float64
+	for i := 0; i < 500; i++ {
+		x := float64(i) / 10
+		xs = append(xs, x)
+		ys = append(ys, 1.5*x-2+(rng.Float64()-0.5)*0.1)
+	}
+	fit, err := LinearFit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(fit.Slope, 1.5, 0.01) || !almostEqual(fit.Intercept, -2, 0.05) {
+		t.Fatalf("fit = %+v", fit)
+	}
+	if fit.R2 < 0.999 {
+		t.Fatalf("r2 = %v", fit.R2)
+	}
+}
+
+func TestLinearFitErrors(t *testing.T) {
+	if _, err := LinearFit([]float64{1}, []float64{1}); err == nil {
+		t.Error("single point accepted")
+	}
+	if _, err := LinearFit([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := LinearFit([]float64{2, 2}, []float64{1, 3}); err == nil {
+		t.Error("degenerate x accepted")
+	}
+}
+
+func TestLogLogSlopeRecoversExponent(t *testing.T) {
+	var xs, ys []float64
+	for _, x := range []float64{2, 4, 8, 16, 32} {
+		xs = append(xs, x)
+		ys = append(ys, 3*x*x) // y = 3 x^2
+	}
+	fit, err := LogLogSlope(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(fit.Slope, 2, 1e-9) {
+		t.Fatalf("exponent = %v", fit.Slope)
+	}
+	if !almostEqual(math.Exp(fit.Intercept), 3, 1e-9) {
+		t.Fatalf("prefactor = %v", math.Exp(fit.Intercept))
+	}
+}
+
+func TestLogLogSlopeRejectsNonPositive(t *testing.T) {
+	if _, err := LogLogSlope([]float64{1, -2}, []float64{1, 2}); err == nil {
+		t.Error("negative x accepted")
+	}
+	if _, err := LogLogSlope([]float64{1, 2}, []float64{0, 2}); err == nil {
+		t.Error("zero y accepted")
+	}
+}
+
+func TestHarmonic(t *testing.T) {
+	if h := Harmonic(1); !almostEqual(h, 1, 1e-12) {
+		t.Fatalf("H_1 = %v", h)
+	}
+	if h := Harmonic(4); !almostEqual(h, 1+0.5+1.0/3+0.25, 1e-12) {
+		t.Fatalf("H_4 = %v", h)
+	}
+	// H_k ~ ln k + γ.
+	if h := Harmonic(100000); !almostEqual(h, math.Log(100000)+0.5772156649, 1e-4) {
+		t.Fatalf("H_100000 = %v", h)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s, err := Summarize([]float64{1, 2, 3, 4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 5 || !almostEqual(s.Mean, 3, 1e-12) || !almostEqual(s.Median, 3, 1e-12) {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.Min != 1 || s.Max != 5 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestMeanPropertyShiftInvariance(t *testing.T) {
+	check := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		n := 2 + rng.Intn(50)
+		xs := make([]float64, n)
+		shifted := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.Float64() * 100
+			shifted[i] = xs[i] + 10
+		}
+		// Mean shifts by exactly 10; variance is unchanged.
+		return almostEqual(Mean(shifted), Mean(xs)+10, 1e-9) &&
+			almostEqual(Variance(shifted), Variance(xs), 1e-9)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFloatsAndMeanInt64(t *testing.T) {
+	xs := []int64{1, 2, 3}
+	fs := Floats(xs)
+	if len(fs) != 3 || fs[2] != 3 {
+		t.Fatalf("Floats = %v", fs)
+	}
+	if m := MeanInt64(xs); !almostEqual(m, 2, 1e-12) {
+		t.Fatalf("MeanInt64 = %v", m)
+	}
+}

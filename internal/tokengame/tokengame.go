@@ -1,0 +1,209 @@
+// Package tokengame implements the one-player token game from the proof of
+// Lemma 8 (appendix of the paper), which abstracts how lazy-domain sizes can
+// move between adjacent domains.
+//
+// The game has k stacks, each starting with η tokens. A move transfers one
+// token from one stack to another and is legal only if the receiving stack
+// holds at most 8 tokens more than the sending stack before the move. The
+// paper's key claim: after any number of legal moves, every stack still
+// holds at least η − 5k + 5 tokens. The rotor-router connection: capturing
+// a node from lazy domain a into lazy domain b is only possible when
+// |V'_b| ≤ |V'_a| + 8 (Lemma 8 part 1), so the evolution of lazy-domain
+// sizes is an instance of this game and domain sizes can never degenerate.
+package tokengame
+
+import (
+	"fmt"
+
+	"rotorring/internal/xrand"
+)
+
+// Slack is the legality margin of the game: a move onto a stack is legal
+// while the destination holds at most Slack more tokens than the source.
+const Slack = 8
+
+// Game is a token game state.
+type Game struct {
+	stacks []int
+	eta    int
+	moves  int
+}
+
+// New creates a game with k stacks of η tokens each. The paper's claim is
+// meaningful for k >= 2.
+func New(k, eta int) (*Game, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("tokengame: need at least 2 stacks, got %d", k)
+	}
+	if eta < 0 {
+		return nil, fmt.Errorf("tokengame: negative initial height %d", eta)
+	}
+	g := &Game{stacks: make([]int, k), eta: eta}
+	for i := range g.stacks {
+		g.stacks[i] = eta
+	}
+	return g, nil
+}
+
+// K returns the number of stacks.
+func (g *Game) K() int { return len(g.stacks) }
+
+// Eta returns the initial stack height η.
+func (g *Game) Eta() int { return g.eta }
+
+// Moves returns how many legal moves have been played.
+func (g *Game) Moves() int { return g.moves }
+
+// Stacks returns a copy of the stack heights.
+func (g *Game) Stacks() []int { return append([]int(nil), g.stacks...) }
+
+// Height returns the height of stack i.
+func (g *Game) Height(i int) int { return g.stacks[i] }
+
+// Min returns the smallest stack height.
+func (g *Game) Min() int {
+	m := g.stacks[0]
+	for _, h := range g.stacks[1:] {
+		if h < m {
+			m = h
+		}
+	}
+	return m
+}
+
+// LowerBound returns the paper's guaranteed minimum height η − 5k + 5.
+func (g *Game) LowerBound() int { return g.eta - 5*len(g.stacks) + 5 }
+
+// Legal reports whether moving one token from stack from to stack to is a
+// legal move.
+func (g *Game) Legal(from, to int) bool {
+	if from == to || from < 0 || to < 0 || from >= len(g.stacks) || to >= len(g.stacks) {
+		return false
+	}
+	if g.stacks[from] == 0 {
+		return false
+	}
+	return g.stacks[to] <= g.stacks[from]+Slack
+}
+
+// Move transfers one token from stack from to stack to. It returns an error
+// if the move is illegal.
+func (g *Game) Move(from, to int) error {
+	if !g.Legal(from, to) {
+		return fmt.Errorf("tokengame: illegal move %d (h=%d) -> %d (h=%d)",
+			from, g.heightOr(from), to, g.heightOr(to))
+	}
+	g.stacks[from]--
+	g.stacks[to]++
+	g.moves++
+	return nil
+}
+
+func (g *Game) heightOr(i int) int {
+	if i < 0 || i >= len(g.stacks) {
+		return -1
+	}
+	return g.stacks[i]
+}
+
+// CheckInvariant verifies the Lemma 8 claim on the current state and
+// reports an error naming the offending stack if it fails.
+func (g *Game) CheckInvariant() error {
+	bound := g.LowerBound()
+	for i, h := range g.stacks {
+		if h < bound {
+			return fmt.Errorf("tokengame: stack %d fell to %d, below the bound %d", i, h, bound)
+		}
+	}
+	return nil
+}
+
+// Player is a move-selection strategy; it returns (from, to, ok) where
+// ok=false means the player passes (no move it wants is legal).
+type Player interface {
+	Next(g *Game) (from, to int, ok bool)
+}
+
+// RandomPlayer plays uniformly random legal moves.
+type RandomPlayer struct {
+	Rng *xrand.Rand
+}
+
+// Next picks a random legal move by rejection sampling (the game always has
+// legal moves when some stack is nonempty, since equal stacks allow moves
+// either way).
+func (p *RandomPlayer) Next(g *Game) (int, int, bool) {
+	k := g.K()
+	for attempt := 0; attempt < 64*k; attempt++ {
+		from := p.Rng.Intn(k)
+		to := p.Rng.Intn(k)
+		if g.Legal(from, to) {
+			return from, to, true
+		}
+	}
+	return 0, 0, false
+}
+
+// GreedyAttacker always tries to drain the currently smallest stack into
+// the tallest stack it is still allowed to feed — the most adversarial
+// simple strategy against the minimum.
+type GreedyAttacker struct{}
+
+// Next drains the minimum stack into the tallest legal destination.
+func (GreedyAttacker) Next(g *Game) (int, int, bool) {
+	k := g.K()
+	from := 0
+	for i := 1; i < k; i++ {
+		if g.Height(i) < g.Height(from) {
+			from = i
+		}
+	}
+	best, found := -1, false
+	for to := 0; to < k; to++ {
+		if to == from || !g.Legal(from, to) {
+			continue
+		}
+		if !found || g.Height(to) > g.Height(best) {
+			best, found = to, true
+		}
+	}
+	if !found {
+		return 0, 0, false
+	}
+	return from, best, true
+}
+
+// CascadeAttacker pumps tokens along a fixed chain 0 -> 1 -> ... -> k-1,
+// repeatedly taking from the leftmost stack that can legally feed its right
+// neighbor. This realizes the worst case of the invariant analysis, where
+// height drops accumulate along a chain of stacks.
+type CascadeAttacker struct{}
+
+// Next finds the leftmost legal chain move.
+func (CascadeAttacker) Next(g *Game) (int, int, bool) {
+	for i := 0; i+1 < g.K(); i++ {
+		if g.Legal(i, i+1) {
+			return i, i + 1, true
+		}
+	}
+	return 0, 0, false
+}
+
+// Play runs up to maxMoves moves of the player, checking the invariant
+// after every move. It stops early if the player passes. It returns the
+// number of moves played and the first invariant violation, if any.
+func Play(g *Game, p Player, maxMoves int) (int, error) {
+	for i := 0; i < maxMoves; i++ {
+		from, to, ok := p.Next(g)
+		if !ok {
+			return i, nil
+		}
+		if err := g.Move(from, to); err != nil {
+			return i, err
+		}
+		if err := g.CheckInvariant(); err != nil {
+			return i + 1, err
+		}
+	}
+	return maxMoves, nil
+}

@@ -1,0 +1,182 @@
+package tokengame
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rotorring/internal/xrand"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(1, 10); err == nil {
+		t.Error("k=1 accepted")
+	}
+	if _, err := New(3, -1); err == nil {
+		t.Error("negative eta accepted")
+	}
+	g, err := New(4, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.K() != 4 || g.Eta() != 100 || g.Min() != 100 {
+		t.Fatalf("fresh game: k=%d eta=%d min=%d", g.K(), g.Eta(), g.Min())
+	}
+	if g.LowerBound() != 100-5*4+5 {
+		t.Fatalf("bound = %d", g.LowerBound())
+	}
+}
+
+func TestLegalityRules(t *testing.T) {
+	g, _ := New(3, 10)
+	// Equal stacks: both directions legal.
+	if !g.Legal(0, 1) || !g.Legal(1, 0) {
+		t.Fatal("equal stacks should allow moves")
+	}
+	// Self-moves and out-of-range are illegal.
+	if g.Legal(0, 0) || g.Legal(-1, 1) || g.Legal(0, 3) {
+		t.Fatal("degenerate moves accepted")
+	}
+	// Each 1->0 move widens the gap by 2; the move from (14,6) is the last
+	// legal one (dest 14 <= 6+8), leaving (15,5).
+	for i := 0; i < 5; i++ {
+		if err := g.Move(1, 0); err != nil {
+			t.Fatalf("move %d: %v", i, err)
+		}
+	}
+	if g.Height(0) != 15 || g.Height(1) != 5 {
+		t.Fatalf("heights %v", g.Stacks())
+	}
+	if g.Legal(1, 0) {
+		t.Fatal("move onto dest 10 above source accepted")
+	}
+	if err := g.Move(1, 0); err == nil {
+		t.Fatal("illegal move silently played")
+	}
+	// From stack 2 (h=10) onto 0 (h=15): 15 <= 10+8, legal; then again
+	// (16 <= 9+8), legal; then 17 <= 8+8 fails.
+	if err := g.Move(2, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Move(2, 0); err != nil {
+		t.Fatal(err)
+	}
+	if g.Legal(2, 0) {
+		t.Fatalf("move onto dest 9 above source accepted (heights %v)", g.Stacks())
+	}
+}
+
+func TestEmptySourceIllegal(t *testing.T) {
+	g, _ := New(2, 0)
+	if g.Legal(0, 1) {
+		t.Fatal("move from empty stack accepted")
+	}
+}
+
+func TestMovesCounterAndStacksCopy(t *testing.T) {
+	g, _ := New(3, 5)
+	if err := g.Move(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if g.Moves() != 1 {
+		t.Fatalf("moves = %d", g.Moves())
+	}
+	s := g.Stacks()
+	s[0] = 99
+	if g.Height(0) == 99 {
+		t.Fatal("Stacks leaked internal slice")
+	}
+}
+
+func TestInvariantUnderRandomPlay(t *testing.T) {
+	check := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		k := 2 + rng.Intn(10)
+		eta := 5*k + rng.Intn(100)
+		g, err := New(k, eta)
+		if err != nil {
+			return false
+		}
+		player := &RandomPlayer{Rng: rng}
+		_, err = Play(g, player, 5000)
+		return err == nil
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInvariantUnderGreedyAttack(t *testing.T) {
+	for _, k := range []int{2, 4, 8, 16, 32} {
+		eta := 10 * k
+		g, err := New(k, eta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Play(g, GreedyAttacker{}, 200_000); err != nil {
+			t.Errorf("k=%d: %v", k, err)
+		}
+	}
+}
+
+func TestInvariantUnderCascadeAttack(t *testing.T) {
+	for _, k := range []int{2, 5, 10, 25} {
+		eta := 8 * k
+		g, err := New(k, eta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Play(g, CascadeAttacker{}, 500_000); err != nil {
+			t.Errorf("k=%d: %v", k, err)
+		}
+	}
+}
+
+func TestCascadeActuallyDigsDeep(t *testing.T) {
+	// The cascade attack should drive the minimum well below η (the bound
+	// η - 5k + 5 is nearly tight in k); verify the attack costs the
+	// minimum at least 2k tokens for a sizable game, so the invariant test
+	// above is not vacuous.
+	const k = 20
+	eta := 10 * k
+	g, _ := New(k, eta)
+	if _, err := Play(g, CascadeAttacker{}, 1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if drop := eta - g.Min(); drop < 2*k {
+		t.Errorf("cascade attack only dug %d below eta (k=%d)", drop, k)
+	}
+}
+
+func TestTokenConservation(t *testing.T) {
+	rng := xrand.New(77)
+	g, _ := New(6, 50)
+	player := &RandomPlayer{Rng: rng}
+	if _, err := Play(g, player, 10_000); err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, h := range g.Stacks() {
+		total += h
+	}
+	if total != 6*50 {
+		t.Fatalf("tokens not conserved: %d", total)
+	}
+}
+
+func TestPlayStopsWhenPlayerPasses(t *testing.T) {
+	// The cascade attacker eventually runs out of legal chain moves.
+	g, _ := New(3, 30)
+	moves, err := Play(g, CascadeAttacker{}, 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moves == 1<<30 {
+		t.Fatal("cascade never passed")
+	}
+	// After passing, no chain move is legal.
+	for i := 0; i+1 < g.K(); i++ {
+		if g.Legal(i, i+1) {
+			t.Fatalf("pass reported but move %d->%d still legal", i, i+1)
+		}
+	}
+}

@@ -1,0 +1,134 @@
+// Package viz renders ring-domain structures as ASCII strips, reproducing
+// the content of the paper's illustrations (Fig. 1: vertex- and edge-type
+// borders between lazy domains; Fig. 2: the desirable configurations of the
+// Theorem 1 deployment) from live simulation state.
+package viz
+
+import (
+	"fmt"
+	"strings"
+
+	"rotorring/internal/core"
+	"rotorring/internal/ringdom"
+)
+
+// Strip renders one character per ring node:
+//
+//	letters a, b, c, ...  nodes of the i-th lazy domain (cycling after z)
+//	'*'                   node currently holding at least one agent
+//	'.'                   visited node outside every lazy domain
+//	'#'                   unvisited node
+//
+// The second returned line marks lazy-domain borders under their gap nodes:
+// '|' under a vertex-type border's middle node, '^' under the two endpoints
+// of an edge-type border, and '~' under wide gaps.
+func Strip(tr *ringdom.Tracker) (nodes, borders string, err error) {
+	sys := tr.System()
+	n := sys.Graph().NumNodes()
+	lazy, err := tr.LazyDomains()
+	if err != nil {
+		return "", "", err
+	}
+
+	row := make([]byte, n)
+	for v := 0; v < n; v++ {
+		if sys.Visits(v) == 0 {
+			row[v] = '#'
+		} else {
+			row[v] = '.'
+		}
+	}
+	for i, d := range lazy.Domains {
+		ch := byte('a' + i%26)
+		for off := 0; off < d.Size; off++ {
+			row[(d.Start+off)%n] = ch
+		}
+	}
+	for v := 0; v < n; v++ {
+		if sys.AgentsAt(v) > 0 {
+			row[v] = '*'
+		}
+	}
+
+	marks := make([]byte, n)
+	for i := range marks {
+		marks[i] = ' '
+	}
+	bs, err := tr.Borders()
+	if err != nil {
+		return "", "", err
+	}
+	for _, b := range bs {
+		switch b.Kind {
+		case ringdom.BorderVertex:
+			marks[(b.LeftEnd+1)%n] = '|'
+		case ringdom.BorderEdge:
+			marks[b.LeftEnd] = '^'
+			marks[(b.LeftEnd+1)%n] = '^'
+		default:
+			for off := 1; off <= b.Gap; off++ {
+				marks[(b.LeftEnd+off)%n] = '~'
+			}
+		}
+	}
+	return string(row), string(marks), nil
+}
+
+// DomainBar renders domain sizes as a proportional horizontal bar chart,
+// one line per domain, used for the Fig. 2 style phase snapshots.
+func DomainBar(p *ringdom.Partition, width int) string {
+	if width < 8 {
+		width = 8
+	}
+	var sb strings.Builder
+	maxSize := 1
+	for _, d := range p.Domains {
+		if d.Size > maxSize {
+			maxSize = d.Size
+		}
+	}
+	for i, d := range p.Domains {
+		bar := d.Size * width / maxSize
+		fmt.Fprintf(&sb, "domain %2d (anchor %4d) %5d %s\n",
+			i, d.Anchor, d.Size, strings.Repeat("█", bar))
+	}
+	if p.Unvisited > 0 {
+		fmt.Fprintf(&sb, "unvisited              %5d\n", p.Unvisited)
+	}
+	return sb.String()
+}
+
+// PathProfile renders the covered prefix of a path system with agent
+// positions marked, one character per node ('A' agent, '=' covered, '#'
+// unvisited), clipped to width characters with proportional downsampling.
+func PathProfile(sys *core.System, width int) string {
+	n := sys.Graph().NumNodes()
+	if width <= 0 || width > n {
+		width = n
+	}
+	row := make([]byte, width)
+	for c := 0; c < width; c++ {
+		lo := c * n / width
+		hi := (c + 1) * n / width
+		if hi == lo {
+			hi = lo + 1
+		}
+		row[c] = '#'
+		visited := false
+		agent := false
+		for v := lo; v < hi; v++ {
+			if sys.Visits(v) > 0 {
+				visited = true
+			}
+			if sys.AgentsAt(v) > 0 {
+				agent = true
+			}
+		}
+		if agent {
+			row[c] = 'A'
+		} else if visited {
+			row[c] = '='
+		}
+	}
+	return string(row)
+}

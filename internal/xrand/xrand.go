@@ -1,0 +1,148 @@
+// Package xrand provides small, deterministic pseudo-random number
+// generators used by the random-walk baseline and the randomized test
+// workloads.
+//
+// The experiments in this repository compare a deterministic process (the
+// rotor-router) against the expectation of a randomized one (parallel random
+// walks). To make the randomized side reproducible across Go releases and
+// architectures, the generators here are self-contained implementations of
+// SplitMix64 (Steele, Lea, Flood: "Fast splittable pseudorandom number
+// generators", OOPSLA 2014) and xoshiro256** (Blackman, Vigna 2018), rather
+// than math/rand whose stream is not guaranteed stable between versions.
+package xrand
+
+import "math/bits"
+
+// Mix64 applies the SplitMix64 finalizer to x: a fast, high-quality 64-bit
+// mixing function. It is used as a stateless hash for incremental
+// configuration hashing in the rotor-router engine.
+func Mix64(x uint64) uint64 {
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// SplitMix64 is a 64-bit PRNG with a single word of state. It is used both
+// directly (seeding workloads) and to seed Xoshiro256 generators.
+type SplitMix64 struct {
+	state uint64
+}
+
+// NewSplitMix64 returns a SplitMix64 generator seeded with seed.
+func NewSplitMix64(seed uint64) *SplitMix64 {
+	return &SplitMix64{state: seed}
+}
+
+// Uint64 returns the next value in the stream.
+func (s *SplitMix64) Uint64() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Rand is the generator used throughout the repository: xoshiro256** seeded
+// via SplitMix64, as recommended by its authors.
+type Rand struct {
+	s [4]uint64
+}
+
+// New returns a Rand seeded deterministically from seed.
+func New(seed uint64) *Rand {
+	sm := NewSplitMix64(seed)
+	var r Rand
+	for i := range r.s {
+		r.s[i] = sm.Uint64()
+	}
+	// An all-zero state is a fixed point of xoshiro; SplitMix64 cannot
+	// produce four consecutive zeros, but guard anyway for robustness.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9e3779b97f4a7c15
+	}
+	return &r
+}
+
+// Uint64 returns the next value of the xoshiro256** stream.
+func (r *Rand) Uint64() uint64 {
+	result := bits.RotateLeft64(r.s[1]*5, 7) * 9
+
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = bits.RotateLeft64(r.s[3], 45)
+
+	return result
+}
+
+// Intn returns a uniformly distributed integer in [0, n). It panics if
+// n <= 0, mirroring math/rand's contract; callers control n and a
+// non-positive bound is always a programming error.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn called with non-positive n")
+	}
+	return int(r.boundedUint64(uint64(n)))
+}
+
+// Int63 returns a non-negative 63-bit integer.
+func (r *Rand) Int63() int64 {
+	return int64(r.Uint64() >> 1)
+}
+
+// Float64 returns a uniformly distributed float64 in [0, 1).
+func (r *Rand) Float64() float64 {
+	// 53 high-quality bits, the standard conversion.
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns an unbiased random boolean.
+func (r *Rand) Bool() bool {
+	return r.Uint64()&1 == 1
+}
+
+// Perm returns a uniformly random permutation of [0, n) using the
+// Fisher-Yates shuffle.
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Shuffle pseudo-randomizes the order of n elements using swap, mirroring
+// math/rand.Shuffle.
+func (r *Rand) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// boundedUint64 returns a uniform value in [0, bound) using Lemire's
+// multiply-shift rejection method, which avoids modulo bias.
+func (r *Rand) boundedUint64(bound uint64) uint64 {
+	hi, lo := bits.Mul64(r.Uint64(), bound)
+	if lo < bound {
+		threshold := -bound % bound
+		for lo < threshold {
+			hi, lo = bits.Mul64(r.Uint64(), bound)
+		}
+	}
+	return hi
+}
+
+// Split returns a new generator seeded from r's stream. Independent
+// goroutines each take a Split() so that parallel experiments never share
+// generator state.
+func (r *Rand) Split() *Rand {
+	return New(r.Uint64())
+}

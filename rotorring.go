@@ -1,0 +1,94 @@
+// Package rotorring is a simulation library for the multi-agent
+// rotor-router and its randomized counterpart, parallel random walks,
+// reproducing the system studied by Klasing, Kosowski, Pająk and Sauerwald
+// in "The multi-agent rotor-router on the ring: a deterministic alternative
+// to parallel random walks" (PODC 2013; Distributed Computing 30(2), 2017).
+//
+// The rotor-router (also known as the Propp machine or Edge Ant Walk) is a
+// deterministic exploration process: every node keeps a cyclic order of its
+// outgoing arcs and a port pointer; an agent arriving at a node is
+// propagated along the pointer, which then advances round-robin. This
+// package simulates k indistinguishable agents sharing one pointer system
+// in synchronous rounds, on the ring and on general port-labeled graphs,
+// and measures the quantities the paper analyzes:
+//
+//   - cover time, under best-case, worst-case and custom initializations
+//     (Theorems 1-4: between Θ(n²/k²) and Θ(n²/log k) on the ring);
+//   - return time of the limit behavior (Theorem 6: Θ(n/k));
+//   - agent domains, lazy domains and their convergence (§2.2);
+//   - the continuous-time approximation and the Lemma 13 profile (§2.3);
+//   - k independent random walks as the randomized baseline (§3.3).
+//
+// # Quick start
+//
+//	g := rotorring.Ring(1024)
+//	sim, err := rotorring.NewRotorSim(g,
+//	    rotorring.Agents(8),
+//	    rotorring.Place(rotorring.PlaceEqualSpacing),
+//	    rotorring.Pointers(rotorring.PointerNegative))
+//	if err != nil { ... }
+//	cover, err := sim.CoverTime(0) // 0 = automatic budget
+//	ret, err := sim.ReturnTime(0)
+//
+// The full experiment suite behind the paper's Table 1 lives in
+// cmd/papertables; DESIGN.md maps every table and figure to the modules
+// that reproduce it.
+package rotorring
+
+import (
+	"rotorring/internal/graph"
+	"rotorring/internal/xrand"
+)
+
+// Graph is a connected, port-labeled undirected multigraph — the topology
+// both processes run on. Build one with the topology constructors below or
+// with NewGraphBuilder.
+type Graph = graph.Graph
+
+// GraphBuilder accumulates edges for a custom topology.
+type GraphBuilder = graph.Builder
+
+// Ring port directions (only meaningful on Ring graphs).
+const (
+	// RingCW is the port from v to (v+1) mod n.
+	RingCW = graph.RingCW
+	// RingCCW is the port from v to (v-1+n) mod n.
+	RingCCW = graph.RingCCW
+)
+
+// NewGraphBuilder starts a custom graph with n nodes.
+func NewGraphBuilder(n int, name string) *GraphBuilder { return graph.NewBuilder(n, name) }
+
+// Ring returns the n-node cycle, the paper's main topology (n >= 3).
+func Ring(n int) *Graph { return graph.Ring(n) }
+
+// Path returns the n-node path (n >= 2).
+func Path(n int) *Graph { return graph.Path(n) }
+
+// Grid2D returns the w x h grid.
+func Grid2D(w, h int) *Graph { return graph.Grid2D(w, h) }
+
+// Torus2D returns the w x h torus (w, h >= 3).
+func Torus2D(w, h int) *Graph { return graph.Torus2D(w, h) }
+
+// Complete returns the complete graph on n nodes (n >= 2).
+func Complete(n int) *Graph { return graph.Complete(n) }
+
+// Star returns the star with hub 0 and n-1 leaves (n >= 2).
+func Star(n int) *Graph { return graph.Star(n) }
+
+// Hypercube returns the d-dimensional hypercube (1 <= d <= 20).
+func Hypercube(d int) *Graph { return graph.Hypercube(d) }
+
+// Lollipop returns a clique with a path tail.
+func Lollipop(cliqueSize, pathLen int) *Graph { return graph.Lollipop(cliqueSize, pathLen) }
+
+// CompleteBinaryTree returns the complete binary tree with the given number
+// of levels (>= 2).
+func CompleteBinaryTree(levels int) *Graph { return graph.CompleteBinaryTree(levels) }
+
+// RandomRegular returns a connected random d-regular simple graph on n
+// nodes, generated deterministically from seed.
+func RandomRegular(n, d int, seed uint64) (*Graph, error) {
+	return graph.RandomRegular(n, d, xrand.New(seed))
+}

@@ -1,0 +1,337 @@
+package rotorring
+
+import (
+	"errors"
+	"fmt"
+
+	"rotorring/internal/core"
+	"rotorring/internal/ringdom"
+	"rotorring/internal/xrand"
+)
+
+// PlacementPolicy selects the initial agent positions.
+type PlacementPolicy int
+
+// Placement policies. The paper's Table 1 distinguishes the worst-case
+// placement (all agents on one node, Theorem 1) from the best case (equal
+// spacing, Theorem 3).
+const (
+	// PlaceSingleNode puts all k agents on node 0 (worst case).
+	PlaceSingleNode PlacementPolicy = iota + 1
+	// PlaceEqualSpacing spreads the agents at positions floor(i·n/k)
+	// (best case).
+	PlaceEqualSpacing
+	// PlaceRandom samples k independent uniform positions from the seed.
+	PlaceRandom
+)
+
+// PointerPolicy selects the initial port pointers — the part of the
+// configuration the paper's adversary controls.
+type PointerPolicy int
+
+// Pointer policies.
+const (
+	// PointerZero leaves every pointer at port 0 (all clockwise on the
+	// ring).
+	PointerZero PointerPolicy = iota + 1
+	// PointerNegative points every node toward its nearest starting
+	// agent, so the first visit to each new node reflects the visitor
+	// back — the paper's "negatively initialized" adversarial barrier
+	// (§2.2, Theorem 4).
+	PointerNegative
+	// PointerTowardStart points every node toward node 0 along shortest
+	// paths: combined with PlaceSingleNode this is the Θ(n²/log k) worst
+	// case of Theorem 1.
+	PointerTowardStart
+	// PointerRandom samples uniform pointers from the seed.
+	PointerRandom
+)
+
+// SimOption configures NewRotorSim or NewWalkSim.
+type SimOption func(*simConfig) error
+
+type simConfig struct {
+	k         int
+	placement PlacementPolicy
+	positions []int
+	pointers  PointerPolicy
+	customPtr []int
+	seed      uint64
+	tracking  bool
+}
+
+// Agents sets the number of agents k (used with a placement policy).
+func Agents(k int) SimOption {
+	return func(c *simConfig) error {
+		if k < 1 {
+			return fmt.Errorf("rotorring: need at least one agent, got %d", k)
+		}
+		c.k = k
+		return nil
+	}
+}
+
+// Place selects a placement policy for the agents.
+func Place(p PlacementPolicy) SimOption {
+	return func(c *simConfig) error {
+		c.placement = p
+		return nil
+	}
+}
+
+// Positions places agents explicitly (repeats allowed); it overrides
+// Agents and Place.
+func Positions(pos ...int) SimOption {
+	return func(c *simConfig) error {
+		if len(pos) == 0 {
+			return errors.New("rotorring: empty position list")
+		}
+		c.positions = append([]int(nil), pos...)
+		return nil
+	}
+}
+
+// Pointers selects the initial pointer policy (rotor-router only).
+func Pointers(p PointerPolicy) SimOption {
+	return func(c *simConfig) error {
+		c.pointers = p
+		return nil
+	}
+}
+
+// CustomPointers sets the exact initial pointer of every node
+// (rotor-router only); it overrides Pointers.
+func CustomPointers(ptr []int) SimOption {
+	return func(c *simConfig) error {
+		c.customPtr = append([]int(nil), ptr...)
+		return nil
+	}
+}
+
+// Seed fixes the randomness used by PlaceRandom, PointerRandom and the
+// random-walk simulator. The default seed is 1.
+func Seed(s uint64) SimOption {
+	return func(c *simConfig) error {
+		c.seed = s
+		return nil
+	}
+}
+
+// TrackDomains enables domain and lazy-domain analysis (ring topologies
+// only); it adds per-round flow recording overhead.
+func TrackDomains() SimOption {
+	return func(c *simConfig) error {
+		c.tracking = true
+		return nil
+	}
+}
+
+// resolve computes concrete positions and pointers from the options.
+func (c *simConfig) resolve(g *Graph) (positions []int, pointers []int, err error) {
+	rng := xrand.New(c.seed)
+	n := g.NumNodes()
+
+	positions = c.positions
+	if positions == nil {
+		k := c.k
+		if k == 0 {
+			k = 1
+		}
+		switch c.placement {
+		case PlaceEqualSpacing:
+			positions = core.EquallySpaced(n, k)
+		case PlaceRandom:
+			positions = core.RandomPositions(n, k, rng)
+		case PlaceSingleNode, 0:
+			positions = core.AllOnNode(0, k)
+		default:
+			return nil, nil, fmt.Errorf("rotorring: unknown placement policy %d", c.placement)
+		}
+	}
+
+	pointers = c.customPtr
+	if pointers == nil {
+		switch c.pointers {
+		case PointerNegative:
+			pointers, err = core.PointersNegative(g, positions)
+		case PointerTowardStart:
+			pointers, err = core.PointersTowardNode(g, 0)
+		case PointerRandom:
+			pointers = core.PointersRandom(g, rng)
+		case PointerZero, 0:
+			pointers = core.PointersUniform(g, 0)
+		default:
+			return nil, nil, fmt.Errorf("rotorring: unknown pointer policy %d", c.pointers)
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	return positions, pointers, nil
+}
+
+// RotorSim is a running multi-agent rotor-router simulation.
+type RotorSim struct {
+	sys     *core.System
+	tracker *ringdom.Tracker
+}
+
+// NewRotorSim creates a rotor-router simulation on g. With no options a
+// single agent starts on node 0 with all pointers at port 0.
+func NewRotorSim(g *Graph, opts ...SimOption) (*RotorSim, error) {
+	cfg := simConfig{seed: 1}
+	for _, o := range opts {
+		if err := o(&cfg); err != nil {
+			return nil, err
+		}
+	}
+	positions, pointers, err := cfg.resolve(g)
+	if err != nil {
+		return nil, err
+	}
+	coreOpts := []core.Option{
+		core.WithAgentsAt(positions...),
+		core.WithPointers(pointers),
+	}
+	if cfg.tracking {
+		coreOpts = append(coreOpts, core.WithFlowRecording())
+	}
+	sys, err := core.NewSystem(g, coreOpts...)
+	if err != nil {
+		return nil, err
+	}
+	sim := &RotorSim{sys: sys}
+	if cfg.tracking {
+		tr, err := ringdom.NewTracker(sys)
+		if err != nil {
+			return nil, fmt.Errorf("rotorring: TrackDomains: %w", err)
+		}
+		sim.tracker = tr
+	}
+	return sim, nil
+}
+
+// NumAgents returns k.
+func (s *RotorSim) NumAgents() int { return int(s.sys.NumAgents()) }
+
+// Round returns the number of completed rounds.
+func (s *RotorSim) Round() int64 { return s.sys.Round() }
+
+// Positions returns the sorted multiset of current agent positions.
+func (s *RotorSim) Positions() []int { return s.sys.Positions() }
+
+// Visits returns the visit counter n_v(t) of node v (initial agents at v
+// plus arrivals).
+func (s *RotorSim) Visits(v int) int64 { return s.sys.Visits(v) }
+
+// Pointer returns the current port pointer at v.
+func (s *RotorSim) Pointer(v int) int { return s.sys.Pointer(v) }
+
+// Covered returns how many nodes have been visited so far.
+func (s *RotorSim) Covered() int { return s.sys.Covered() }
+
+// Step advances one synchronous round.
+func (s *RotorSim) Step() {
+	if s.tracker != nil {
+		s.tracker.Step()
+		return
+	}
+	s.sys.Step()
+}
+
+// Run advances the given number of rounds.
+func (s *RotorSim) Run(rounds int64) {
+	for i := int64(0); i < rounds; i++ {
+		s.Step()
+	}
+}
+
+// defaultCoverBudget bounds cover-time runs when the caller passes 0:
+// comfortably above the worst case Θ(n²) of any initialization on the
+// n-node ring (and of Θ(D·|E|) lock-in at the scales this library targets).
+func defaultCoverBudget(g *Graph) int64 {
+	n := int64(g.NumNodes())
+	m := int64(g.NumEdges())
+	b := 16 * n * m
+	if min := int64(1 << 20); b < min {
+		b = min
+	}
+	return b
+}
+
+// CoverTime runs until every node has been visited and returns the cover
+// time. maxRounds = 0 selects an automatic budget; exceeding the budget
+// returns an error wrapping core.ErrNotCovered.
+func (s *RotorSim) CoverTime(maxRounds int64) (int64, error) {
+	if maxRounds == 0 {
+		maxRounds = defaultCoverBudget(s.sys.Graph())
+	}
+	if s.tracker == nil {
+		return s.sys.RunUntilCovered(maxRounds)
+	}
+	// Step through the tracker so domain classification stays coherent.
+	n := s.sys.Graph().NumNodes()
+	for s.sys.Covered() < n {
+		if s.sys.Round() >= maxRounds {
+			return s.sys.Round(), fmt.Errorf("%w after %d rounds (%d/%d nodes)",
+				core.ErrNotCovered, s.sys.Round(), s.sys.Covered(), n)
+		}
+		s.tracker.Step()
+	}
+	return s.sys.CoverRound(), nil
+}
+
+// ReturnStats reports the limit-behavior recurrence measurements (§4).
+type ReturnStats = core.ReturnStats
+
+// LimitCycle describes the detected limit cycle of the deterministic
+// system.
+type LimitCycle = core.LimitCycle
+
+// ReturnTime locates the limit cycle and measures the paper's return time
+// exactly over one period. maxRounds = 0 selects an automatic budget. The
+// simulation is parked inside the limit cycle afterwards.
+func (s *RotorSim) ReturnTime(maxRounds int64) (*ReturnStats, error) {
+	if maxRounds == 0 {
+		maxRounds = 4 * defaultCoverBudget(s.sys.Graph())
+	}
+	return core.MeasureReturnTime(s.sys, maxRounds)
+}
+
+// FindLimitCycle runs forward until the configuration provably repeats.
+// maxRounds = 0 selects an automatic budget. computeMu additionally
+// computes the exact stabilization round.
+func (s *RotorSim) FindLimitCycle(maxRounds int64, computeMu bool) (*LimitCycle, error) {
+	if maxRounds == 0 {
+		maxRounds = 4 * defaultCoverBudget(s.sys.Graph())
+	}
+	return core.FindLimitCycle(s.sys, maxRounds, computeMu)
+}
+
+// DomainPartition is the decomposition of the ring into agent domains.
+type DomainPartition = ringdom.Partition
+
+// LazyDomainPartition is the decomposition into lazy domains.
+type LazyDomainPartition = ringdom.LazyPartition
+
+// Domains computes the current agent-domain partition (ring only).
+func (s *RotorSim) Domains() (*DomainPartition, error) {
+	return ringdom.Domains(s.sys)
+}
+
+// LazyDomains computes the current lazy domains (requires TrackDomains).
+func (s *RotorSim) LazyDomains() (*LazyDomainPartition, error) {
+	if s.tracker == nil {
+		return nil, errors.New("rotorring: LazyDomains requires the TrackDomains option")
+	}
+	return s.tracker.LazyDomains()
+}
+
+// Borders classifies the borders between adjacent lazy domains (requires
+// TrackDomains).
+func (s *RotorSim) Borders() ([]ringdom.Border, error) {
+	if s.tracker == nil {
+		return nil, errors.New("rotorring: Borders requires the TrackDomains option")
+	}
+	return s.tracker.Borders()
+}

@@ -1,0 +1,119 @@
+package rotorring
+
+import (
+	"rotorring/internal/randwalk"
+	"rotorring/internal/stats"
+	"rotorring/internal/xrand"
+)
+
+// WalkSim is a system of k independent synchronous random walkers — the
+// randomized baseline the paper compares the rotor-router against.
+type WalkSim struct {
+	walk      *randwalk.Walk
+	g         *Graph
+	positions []int
+	seed      uint64
+}
+
+// NewWalkSim creates a random-walk simulation on g. Pointer options are
+// ignored (walks have no pointers); placement and seed options apply.
+func NewWalkSim(g *Graph, opts ...SimOption) (*WalkSim, error) {
+	cfg := simConfig{seed: 1}
+	for _, o := range opts {
+		if err := o(&cfg); err != nil {
+			return nil, err
+		}
+	}
+	positions, _, err := cfg.resolve(g)
+	if err != nil {
+		return nil, err
+	}
+	w, err := randwalk.New(g, positions, xrand.New(cfg.seed))
+	if err != nil {
+		return nil, err
+	}
+	return &WalkSim{walk: w, g: g, positions: positions, seed: cfg.seed}, nil
+}
+
+// NumWalkers returns k.
+func (w *WalkSim) NumWalkers() int { return w.walk.NumWalkers() }
+
+// Round returns the number of completed rounds.
+func (w *WalkSim) Round() int64 { return w.walk.Round() }
+
+// Positions returns the current walker positions.
+func (w *WalkSim) Positions() []int { return w.walk.Positions() }
+
+// Covered returns the number of distinct nodes visited so far.
+func (w *WalkSim) Covered() int { return w.walk.Covered() }
+
+// Visits returns how many times node v has been visited (including initial
+// placement).
+func (w *WalkSim) Visits(v int) int64 { return w.walk.Visits(v) }
+
+// Step moves every walker to a uniformly random neighbor.
+func (w *WalkSim) Step() { w.walk.Step() }
+
+// Run advances the given number of rounds.
+func (w *WalkSim) Run(rounds int64) { w.walk.Run(rounds) }
+
+// CoverTime runs this one instance until all nodes are visited.
+// maxRounds = 0 selects an automatic budget.
+func (w *WalkSim) CoverTime(maxRounds int64) (int64, error) {
+	if maxRounds == 0 {
+		maxRounds = defaultCoverBudget(w.g)
+	}
+	return w.walk.RunUntilCovered(maxRounds)
+}
+
+// CoverTimeSummary is the sample summary of repeated cover-time trials.
+type CoverTimeSummary struct {
+	// Trials is the number of independent runs.
+	Trials int
+	// Mean and StdErr estimate the expected cover time, the quantity the
+	// paper's random-walk results are stated for.
+	Mean   float64
+	StdErr float64
+	// Median, Min and Max describe the sample spread.
+	Median float64
+	Min    float64
+	Max    float64
+}
+
+// ExpectedCoverTime estimates E[cover time] over independent trials with
+// deterministic per-trial seeds (derived from the simulation seed). The
+// trials restart from the configured initial placement; the state of this
+// WalkSim is not consumed. maxRounds = 0 selects an automatic budget.
+func (w *WalkSim) ExpectedCoverTime(trials int, maxRounds int64) (CoverTimeSummary, error) {
+	if maxRounds == 0 {
+		maxRounds = 4 * defaultCoverBudget(w.g)
+	}
+	times, err := randwalk.CoverTimes(w.g, w.positions, trials, w.seed, maxRounds)
+	if err != nil {
+		return CoverTimeSummary{}, err
+	}
+	fs := stats.Floats(times)
+	sum, err := stats.Summarize(fs)
+	if err != nil {
+		return CoverTimeSummary{}, err
+	}
+	return CoverTimeSummary{
+		Trials: sum.N,
+		Mean:   sum.Mean,
+		StdErr: sum.StdErr,
+		Median: sum.Median,
+		Min:    sum.Min,
+		Max:    sum.Max,
+	}, nil
+}
+
+// GapStats reports recurrence measurements for the walk (analogous to the
+// rotor-router's return time, though the walk only has expectations — §4's
+// closing remark).
+type GapStats = randwalk.GapStats
+
+// MeasureGaps runs burnIn rounds, then observes window rounds and reports
+// the visit-gap statistics: MeanGap ≈ n/k on the ring.
+func (w *WalkSim) MeasureGaps(burnIn, window int64) GapStats {
+	return w.walk.MeasureGaps(burnIn, window)
+}
