@@ -1,0 +1,43 @@
+# Development targets. CI runs exactly these (see .github/workflows/ci.yml)
+# so local and CI verification cannot drift.
+
+GO ?= go
+
+.PHONY: all build vet fmt fmt-check test race bench-smoke bench-json verify ci clean
+
+all: verify
+
+# build + test is the repo's tier-1 verification (ROADMAP.md).
+verify: build test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -w .
+
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One iteration of every benchmark: catches bit-rot without burning CI time.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# Regenerate the engine perf trajectory at the repo root.
+bench-json:
+	$(GO) test ./internal/engine -run TestEmitBenchJSON -bench-json $(CURDIR)/BENCH_engine.json -v
+
+ci: build vet fmt-check race bench-smoke
+
+clean:
+	$(GO) clean ./...

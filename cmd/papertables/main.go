@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	papertables [-scale quick|full] [-seed N] [-only E1,E5,X2]
+//	papertables [-scale quick|full] [-seed N] [-only E1,E5,X2] [-workers N]
 //
 // Quick scale finishes in seconds; full scale reproduces the sweeps
 // recorded in EXPERIMENTS.md (minutes).
@@ -34,6 +34,7 @@ func run(args []string, out io.Writer) error {
 	seed := fs.Uint64("seed", 20230601, "seed for randomized components")
 	only := fs.String("only", "", "comma-separated experiment ids (default: all)")
 	format := fs.String("format", "text", "output format: text or csv")
+	workers := fs.Int("workers", 0, "experiment engine worker pool size (0 = GOMAXPROCS); never affects results")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -44,7 +45,7 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	cfg := expt.Config{Scale: scale, Seed: *seed}
+	cfg := expt.Config{Scale: scale, Seed: *seed, Workers: *workers}
 
 	var selected []*expt.Experiment
 	if *only == "" {

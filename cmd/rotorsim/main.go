@@ -1,11 +1,15 @@
-// Command rotorsim runs one multi-agent rotor-router (or parallel
-// random-walk) simulation and prints its headline metrics.
+// Command rotorsim runs multi-agent rotor-router (or parallel random-walk)
+// experiments on the deterministic parallel sweep engine. Every flag that
+// takes a value accepts a comma-separated list, turning a single run into a
+// grid sweep; a single configuration is just a 1-cell sweep.
 //
 // Usage examples:
 //
 //	rotorsim -topology ring -n 1024 -k 8 -place equal -pointers negative
 //	rotorsim -topology ring -n 1024 -k 8 -place single -pointers toward -return
 //	rotorsim -topology grid -n 32 -k 4 -walk -trials 32
+//	rotorsim -n 256,512,1024 -k 2,4,8 -place single,equal -format csv
+//	rotorsim -n 512 -k 4,8 -replicas 16 -walk -workers 8 -format jsonl
 package main
 
 import (
@@ -13,9 +17,11 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
-	"rotorring"
+	"rotorring/internal/engine"
 )
 
 func main() {
@@ -25,125 +31,226 @@ func main() {
 	}
 }
 
-func buildGraph(topology string, n int) (*rotorring.Graph, error) {
-	switch topology {
-	case "ring":
-		return rotorring.Ring(n), nil
-	case "path":
-		return rotorring.Path(n), nil
-	case "grid":
-		return rotorring.Grid2D(n, n), nil
-	case "torus":
-		return rotorring.Torus2D(n, n), nil
-	case "complete":
-		return rotorring.Complete(n), nil
-	case "star":
-		return rotorring.Star(n), nil
-	case "hypercube":
-		return rotorring.Hypercube(n), nil
-	case "btree":
-		return rotorring.CompleteBinaryTree(n), nil
-	default:
-		return nil, fmt.Errorf("unknown topology %q", topology)
-	}
+// parseInts parses a comma-separated list of positive integers.
+func parseInts(flagName, s string) ([]int, error) {
+	return parseList(s, func(p string) (int, error) {
+		v, err := strconv.Atoi(p)
+		if err != nil || v < 1 {
+			return 0, fmt.Errorf("-%s: bad value %q (want positive integers)", flagName, p)
+		}
+		return v, nil
+	})
 }
 
-func placement(s string) (rotorring.PlacementPolicy, error) {
-	switch s {
-	case "single":
-		return rotorring.PlaceSingleNode, nil
-	case "equal":
-		return rotorring.PlaceEqualSpacing, nil
-	case "random":
-		return rotorring.PlaceRandom, nil
-	default:
-		return 0, fmt.Errorf("unknown placement %q (single|equal|random)", s)
+// parseList parses a comma-separated list through a per-item parser.
+func parseList[T any](s string, parse func(string) (T, error)) ([]T, error) {
+	parts := strings.Split(s, ",")
+	out := make([]T, 0, len(parts))
+	for _, p := range parts {
+		v, err := parse(strings.TrimSpace(p))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
 	}
-}
-
-func pointerPolicy(s string) (rotorring.PointerPolicy, error) {
-	switch s {
-	case "zero":
-		return rotorring.PointerZero, nil
-	case "negative":
-		return rotorring.PointerNegative, nil
-	case "toward":
-		return rotorring.PointerTowardStart, nil
-	case "random":
-		return rotorring.PointerRandom, nil
-	default:
-		return 0, fmt.Errorf("unknown pointer policy %q (zero|negative|toward|random)", s)
-	}
+	return out, nil
 }
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("rotorsim", flag.ContinueOnError)
 	topology := fs.String("topology", "ring", "ring|path|grid|torus|complete|star|hypercube|btree")
-	n := fs.Int("n", 1024, "size parameter (nodes; side length for grid/torus; dimension for hypercube; levels for btree)")
-	k := fs.Int("k", 4, "number of agents")
-	place := fs.String("place", "equal", "placement: single|equal|random")
-	pointers := fs.String("pointers", "zero", "pointer init: zero|negative|toward|random")
-	seed := fs.Uint64("seed", 1, "seed for randomized choices")
-	doReturn := fs.Bool("return", false, "also measure limit-cycle return time")
+	nFlag := fs.String("n", "1024", "size parameter list (nodes; side length for grid/torus; dimension for hypercube; levels for btree)")
+	kFlag := fs.String("k", "4", "agent count list")
+	place := fs.String("place", "equal", "placement list: single|equal|random")
+	pointers := fs.String("pointers", "zero", "pointer init list: zero|negative|toward|random")
+	seed := fs.Uint64("seed", 1, "base seed; per-job seeds are derived from it and the configuration")
+	doReturn := fs.Bool("return", false, "measure the recurrence metric (rotor: limit-cycle return time; walk: mean inter-visit gap); text mode adds it after the cover time")
 	walk := fs.Bool("walk", false, "simulate parallel random walks instead")
-	trials := fs.Int("trials", 16, "trials for the walk expectation estimate")
+	trials := fs.Int("trials", 16, "trials for the walk expectation estimate (walk replicas)")
+	replicas := fs.Int("replicas", 1, "replicas per grid cell, each with a derived seed")
+	workers := fs.Int("workers", 0, "sweep engine worker pool size (0 = GOMAXPROCS); never affects results")
+	format := fs.String("format", "text", "output format: text|jsonl|csv")
 	budget := fs.Int64("budget", 0, "round budget (0 = automatic)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	replicasSet, trialsSet := false, false
+	fs.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "replicas":
+			replicasSet = true
+		case "trials":
+			trialsSet = true
+		}
+	})
+	if trialsSet && replicasSet {
+		return fmt.Errorf("-trials and -replicas are aliases for walks; set only one")
+	}
+	if trialsSet && !*walk {
+		return fmt.Errorf("-trials applies only to -walk (use -replicas for rotor sweeps)")
+	}
+	if *replicas < 1 {
+		return fmt.Errorf("-replicas: need at least 1, got %d", *replicas)
+	}
+	if *trials < 1 {
+		return fmt.Errorf("-trials: need at least 1, got %d", *trials)
+	}
 
-	g, err := buildGraph(*topology, *n)
+	ns, err := parseInts("n", *nFlag)
 	if err != nil {
 		return err
 	}
-	pl, err := placement(*place)
+	ks, err := parseInts("k", *kFlag)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(out, "topology %s: %d nodes, %d edges, diameter %d\n",
-		g.Name(), g.NumNodes(), g.NumEdges(), g.Diameter())
+	places, err := parseList(*place, engine.ParsePlacement)
+	if err != nil {
+		return err
+	}
+	ptrs, err := parseList(*pointers, engine.ParsePointer)
+	if err != nil {
+		return err
+	}
 
+	spec := engine.SweepSpec{
+		Topology:   *topology,
+		Sizes:      ns,
+		Agents:     ks,
+		Placements: places,
+		Pointers:   ptrs,
+		Process:    engine.ProcRotor,
+		Metric:     engine.MetricCover,
+		Replicas:   *replicas,
+		Seed:       *seed,
+		MaxRounds:  *budget,
+	}
 	if *walk {
-		w, err := rotorring.NewWalkSim(g, rotorring.Agents(*k), rotorring.Place(pl), rotorring.Seed(*seed))
+		spec.Process = engine.ProcWalk
+		// Walks default to -trials replicas; an explicit -replicas wins
+		// (the two flags are mutually exclusive, checked above).
+		if !replicasSet {
+			spec.Replicas = *trials
+		}
+	}
+	eng := engine.New(engine.Workers(*workers))
+
+	switch *format {
+	case "jsonl", "csv":
+		// Structured mode runs one sweep; -return selects the metric.
+		if *doReturn {
+			spec.Metric = engine.MetricReturn
+		}
+		var sink engine.Sink
+		if *format == "jsonl" {
+			sink = engine.NewJSONLSink(out)
+		} else {
+			sink = engine.NewCSVSink(out)
+		}
+		_, err := eng.Run(spec, sink)
+		return err
+	case "text":
+		return runText(eng, spec, *doReturn, *walk, out)
+	default:
+		return fmt.Errorf("unknown format %q (text|jsonl|csv)", *format)
+	}
+}
+
+// runText renders sweeps human-readably: legacy single-line output for a
+// 1-cell sweep, a summary table otherwise.
+func runText(eng *engine.Engine, spec engine.SweepSpec, doReturn, walk bool, out io.Writer) error {
+	cells, err := spec.Cells()
+	if err != nil {
+		return err
+	}
+	single := len(cells) == 1
+	// The per-topology line describes one graph; printing it for the first
+	// of several sizes would misstate the sweep.
+	if len(spec.Sizes) == 1 {
+		g, err := engine.BuildGraph(spec.Topology, spec.Sizes[0])
 		if err != nil {
 			return err
 		}
-		start := time.Now()
-		sum, err := w.ExpectedCoverTime(*trials, *budget)
-		if err != nil {
+		fmt.Fprintf(out, "topology %s: %d nodes, %d edges, diameter %d\n",
+			g.Name(), g.NumNodes(), g.NumEdges(), g.Diameter())
+	}
+
+	start := time.Now()
+	sum := engine.NewSummarySink()
+	rows, err := eng.Run(spec, sum)
+	if err != nil {
+		return err
+	}
+	// A single configuration fails hard; a grid degrades gracefully and
+	// reports per-cell failures in the summary table instead.
+	if single {
+		if err := firstRowErr(rows); err != nil {
 			return err
 		}
+	}
+	elapsed := time.Since(start).Round(time.Millisecond)
+
+	switch {
+	case walk && single:
+		c := sum.Cells()[0]
 		fmt.Fprintf(out, "random walks: k=%d, E[cover] = %.0f ± %.0f rounds (median %.0f, range [%.0f, %.0f], %d trials, %v)\n",
-			*k, sum.Mean, sum.StdErr, sum.Median, sum.Min, sum.Max, sum.Trials, time.Since(start).Round(time.Millisecond))
+			c.K, c.Mean, c.StdErr, c.Median, c.Min, c.Max, c.Replicas, elapsed)
+	case single && spec.Replicas == 1:
+		r := rows[0]
+		fmt.Fprintf(out, "rotor-router: k=%d, cover time = %.0f rounds (%v)\n", r.K, r.Value, elapsed)
+	case single:
+		c := sum.Cells()[0]
+		fmt.Fprintf(out, "rotor-router: k=%d, cover time = %.0f ± %.0f rounds (median %.0f, range [%.0f, %.0f], %d replicas, %v)\n",
+			c.K, c.Mean, c.StdErr, c.Median, c.Min, c.Max, c.Replicas, elapsed)
+	default:
+		fmt.Fprintf(out, "sweep: %d cells x %d replicas on %d workers, cover metric (%v)\n",
+			len(cells), spec.Replicas, eng.NumWorkers(), elapsed)
+		if err := sum.WriteTable(out); err != nil {
+			return err
+		}
+	}
+
+	if !doReturn {
 		return nil
 	}
-
-	pp, err := pointerPolicy(*pointers)
+	retSpec := spec
+	retSpec.Metric = engine.MetricReturn
+	start = time.Now()
+	retSum := engine.NewSummarySink()
+	retRows, err := eng.Run(retSpec, retSum)
 	if err != nil {
 		return err
 	}
-	sim, err := rotorring.NewRotorSim(g,
-		rotorring.Agents(*k), rotorring.Place(pl),
-		rotorring.Pointers(pp), rotorring.Seed(*seed))
-	if err != nil {
-		return err
-	}
-	start := time.Now()
-	cover, err := sim.CoverTime(*budget)
-	if err != nil {
-		return err
-	}
-	fmt.Fprintf(out, "rotor-router: k=%d, cover time = %d rounds (%v)\n",
-		*k, cover, time.Since(start).Round(time.Millisecond))
-
-	if *doReturn {
-		start = time.Now()
-		rs, err := sim.ReturnTime(*budget)
-		if err != nil {
+	if single {
+		if err := firstRowErr(retRows); err != nil {
 			return fmt.Errorf("return time: %w", err)
 		}
-		fmt.Fprintf(out, "limit cycle: period %d, return time %d (per-node visits %d..%d, %v)\n",
-			rs.Period, rs.ReturnTime, rs.MinNodeVisits, rs.MaxNodeVisits, time.Since(start).Round(time.Millisecond))
+	}
+	elapsed = time.Since(start).Round(time.Millisecond)
+	switch {
+	case walk && single:
+		// The walk has no limit cycle; its recurrence measure is the mean
+		// inter-visit gap over a long window (expectation n/k on the ring).
+		c := retSum.Cells()[0]
+		fmt.Fprintf(out, "recurrence: mean inter-visit gap = %.1f ± %.1f rounds (%d trials, %v)\n",
+			c.Mean, c.StdErr, c.Replicas, elapsed)
+	case single:
+		r := retRows[0]
+		fmt.Fprintf(out, "limit cycle: period %d, return time %.0f (per-node visits %d..%d, %v)\n",
+			r.Period, r.Value, r.MinVisits, r.MaxVisits, elapsed)
+	default:
+		fmt.Fprintf(out, "sweep: return-time metric (%v)\n", elapsed)
+		return retSum.WriteTable(out)
+	}
+	return nil
+}
+
+// firstRowErr surfaces the first failed job of a sweep.
+func firstRowErr(rows []engine.Row) error {
+	for _, r := range rows {
+		if r.Err != "" {
+			return fmt.Errorf("n=%d k=%d replica=%d: %s", r.N, r.K, r.Replica, r.Err)
+		}
 	}
 	return nil
 }

@@ -52,12 +52,115 @@ func TestTopologies(t *testing.T) {
 	}
 }
 
+func TestSweepText(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-n", "32,64", "-k", "2,4", "-place", "single,equal",
+		"-pointers", "zero", "-replicas", "2"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "sweep: 8 cells x 2 replicas") {
+		t.Errorf("missing sweep header:\n%s", out)
+	}
+	if got := strings.Count(out, "ring "); got != 8 {
+		t.Errorf("summary table has %d cells, want 8:\n%s", got, out)
+	}
+}
+
+func TestSweepCSV(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-n", "32", "-k", "2,4", "-format", "csv"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 { // header + 2 cells x 1 replica
+		t.Fatalf("got %d CSV lines, want 3:\n%s", len(lines), buf.String())
+	}
+	if !strings.HasPrefix(lines[0], "cell,topology,n,k,") {
+		t.Errorf("unexpected CSV header: %s", lines[0])
+	}
+}
+
+// TestSweepWorkerIndependence: the command's structured output is
+// byte-identical whatever -workers is set to.
+func TestSweepWorkerIndependence(t *testing.T) {
+	outputs := make([]string, 0, 3)
+	for _, w := range []string{"1", "4", "8"} {
+		var buf bytes.Buffer
+		err := run([]string{"-n", "32,48", "-k", "2,3", "-place", "random",
+			"-pointers", "random", "-replicas", "3", "-workers", w,
+			"-format", "jsonl"}, &buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		outputs = append(outputs, buf.String())
+	}
+	for i := 1; i < len(outputs); i++ {
+		if outputs[i] != outputs[0] {
+			t.Fatalf("jsonl output differs between -workers settings:\n%s\nvs\n%s",
+				outputs[0], outputs[i])
+		}
+	}
+	if !strings.Contains(outputs[0], `"seed"`) {
+		t.Errorf("jsonl rows missing seed field:\n%s", outputs[0])
+	}
+}
+
+func TestWalkSweepReturn(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-n", "32", "-k", "4", "-walk", "-return",
+		"-trials", "2", "-format", "jsonl"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"metric":"return"`) {
+		t.Errorf("walk return sweep missing metric field:\n%s", buf.String())
+	}
+}
+
+// TestSingleCellReplicas: a 1-cell rotor sweep with replicas reports the
+// aggregate, not just the first replica.
+func TestSingleCellReplicas(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-n", "64", "-k", "2", "-place", "random", "-replicas", "4"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "4 replicas") || !strings.Contains(out, "±") {
+		t.Errorf("replica aggregate missing:\n%s", out)
+	}
+}
+
+// TestSweepPartialFailure: a grid where one cell exhausts its budget still
+// renders the summary table, flagging the failed cell.
+func TestSweepPartialFailure(t *testing.T) {
+	var buf bytes.Buffer
+	// Budget 40 covers ring(32) with k=2 (cover 27) but not ring(128).
+	err := run([]string{"-n", "32,128", "-k", "2", "-budget", "40"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "failed=1") {
+		t.Errorf("failed cell not flagged:\n%s", out)
+	}
+	if !strings.Contains(out, "n=32") {
+		t.Errorf("successful cell missing from table:\n%s", out)
+	}
+}
+
 func TestBadInputs(t *testing.T) {
 	for name, args := range map[string][]string{
 		"topology": {"-topology", "moebius"},
 		"place":    {"-place", "everywhere"},
 		"pointers": {"-pointers", "sideways"},
 		"flag":     {"-bogus"},
+		"n":        {"-n", "12,zebra"},
+		"k":        {"-k", "0"},
+		"format":   {"-format", "yaml"},
 	} {
 		var buf bytes.Buffer
 		if err := run(args, &buf); err == nil {

@@ -109,3 +109,26 @@ func ExampleRotorSim_domains() {
 	// domains: 4
 	// nodes partitioned: true
 }
+
+// A sweep fans a grid of configurations across a deterministic parallel
+// worker pool: results are identical for any worker count, so experiments
+// scale to all cores without losing reproducibility.
+func ExampleRunSweep() {
+	rows, err := rotorring.RunSweep(rotorring.SweepSpec{
+		Sizes:      []int{64, 128},
+		Agents:     []int{2, 4},
+		Placements: []rotorring.PlacementPolicy{rotorring.PlaceEqualSpacing},
+		Pointers:   []rotorring.PointerPolicy{rotorring.PointerNegative},
+	}, 8) // 8 workers
+	if err != nil {
+		panic(err)
+	}
+	for _, r := range rows {
+		fmt.Printf("n=%d k=%d cover=%.0f\n", r.N, r.K, r.Value)
+	}
+	// Output:
+	// n=64 k=2 cover=496
+	// n=64 k=4 cover=120
+	// n=128 k=2 cover=2016
+	// n=128 k=4 cover=496
+}

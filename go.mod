@@ -1,0 +1,3 @@
+module rotorring
+
+go 1.22

@@ -1,0 +1,181 @@
+package engine
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// benchJSON, when set, makes TestEmitBenchJSON measure the sequential
+// baseline against the engine at several worker counts and write the
+// trajectory to the given path (BENCH_engine.json at the repo root via
+// `make bench-json`).
+var benchJSON = flag.String("bench-json", "", "write engine benchmark results to this JSON file")
+
+// benchSpec is the fixed workload benchmarks and the JSON trajectory share:
+// a rotor cover-time grid whose cells are heavy enough (~(n/k)^2 rounds)
+// that scheduling overhead is negligible against simulation work.
+func benchSpec() SweepSpec {
+	return SweepSpec{
+		Topology:   "ring",
+		Sizes:      []int{256, 384, 512, 640},
+		Agents:     []int{2, 3, 4, 6},
+		Placements: []Placement{PlaceEqual},
+		Pointers:   []Pointer{PtrNegative},
+		Replicas:   2,
+		Seed:       7,
+	}
+}
+
+// runSequential is the pre-engine code path: every cell measured one after
+// another on a single goroutine, no pool, no sinks. It is the baseline the
+// engine's speedup is stated against.
+func runSequential(spec SweepSpec) ([]Row, error) {
+	norm, err := spec.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	cells, err := norm.Cells()
+	if err != nil {
+		return nil, err
+	}
+	w := newWorker()
+	rows := make([]Row, 0, len(cells)*norm.Replicas)
+	for _, c := range cells {
+		for r := 0; r < norm.Replicas; r++ {
+			rows = append(rows, w.runJob(&norm, c, r))
+		}
+	}
+	return rows, nil
+}
+
+// BenchmarkSequentialSweep measures the single-goroutine baseline.
+func BenchmarkSequentialSweep(b *testing.B) {
+	spec := benchSpec()
+	for i := 0; i < b.N; i++ {
+		if _, err := runSequential(spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineSweep measures the engine at increasing worker counts; on
+// a multi-core runner throughput scales near-linearly until the pool
+// exceeds the cores.
+func BenchmarkEngineSweep(b *testing.B) {
+	spec := benchSpec()
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			e := New(Workers(workers))
+			for i := 0; i < b.N; i++ {
+				if _, err := e.Run(spec); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// benchResult is one measured point of the trajectory file.
+type benchResult struct {
+	Workers    int     `json:"workers"`
+	Seconds    float64 `json:"seconds"`
+	JobsPerSec float64 `json:"jobsPerSec"`
+	// Speedup is throughput relative to the sequential baseline.
+	Speedup float64 `json:"speedup"`
+}
+
+// benchFile is the schema of BENCH_engine.json.
+type benchFile struct {
+	Benchmark   string        `json:"benchmark"`
+	GOOS        string        `json:"goos"`
+	GOARCH      string        `json:"goarch"`
+	CPUs        int           `json:"cpus"`
+	GoVersion   string        `json:"goVersion"`
+	Jobs        int           `json:"jobs"`
+	SeqSeconds  float64       `json:"sequentialSeconds"`
+	Results     []benchResult `json:"results"`
+	GeneratedAt string        `json:"generatedAt"`
+}
+
+// TestEmitBenchJSON records the perf trajectory. It is a no-op unless
+// -bench-json is set, so the regular test suite stays fast.
+func TestEmitBenchJSON(t *testing.T) {
+	if *benchJSON == "" {
+		t.Skip("enable with -bench-json <path>")
+	}
+	spec := benchSpec()
+	cells, err := spec.Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Warm up once so first-run effects (page faults, frequency ramp)
+	// don't land on the baseline.
+	if _, err := runSequential(spec); err != nil {
+		t.Fatal(err)
+	}
+
+	timeIt := func(fn func() error) float64 {
+		const reps = 3
+		best := 0.0
+		for i := 0; i < reps; i++ {
+			start := time.Now()
+			if err := fn(); err != nil {
+				t.Fatal(err)
+			}
+			if sec := time.Since(start).Seconds(); i == 0 || sec < best {
+				best = sec
+			}
+		}
+		return best
+	}
+
+	out := benchFile{
+		Benchmark:   "EngineSweep",
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		CPUs:        runtime.NumCPU(),
+		GoVersion:   runtime.Version(),
+		Jobs:        len(cells) * spec.Replicas,
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+	}
+	out.SeqSeconds = timeIt(func() error {
+		_, err := runSequential(spec)
+		return err
+	})
+	for _, workers := range []int{1, 2, 4, 8} {
+		e := New(Workers(workers))
+		sec := timeIt(func() error {
+			_, err := e.Run(spec)
+			return err
+		})
+		out.Results = append(out.Results, benchResult{
+			Workers:    workers,
+			Seconds:    sec,
+			JobsPerSec: float64(out.Jobs) / sec,
+			Speedup:    out.SeqSeconds / sec,
+		})
+	}
+
+	f, err := os.Create(*benchJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s: sequential %.3fs, %d jobs, cpus=%d", *benchJSON, out.SeqSeconds, out.Jobs, out.CPUs)
+	for _, r := range out.Results {
+		t.Logf("  workers=%d  %.3fs  %.1f jobs/s  speedup %.2fx", r.Workers, r.Seconds, r.JobsPerSec, r.Speedup)
+	}
+}

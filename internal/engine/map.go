@@ -1,0 +1,51 @@
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Map evaluates fn(0..n-1) on a pool of workers goroutines and returns the
+// results in index order, so output never depends on scheduling. workers <=
+// 0 selects GOMAXPROCS; the pool never exceeds n. The first error (by
+// index) aborts the result; all in-flight evaluations still complete.
+//
+// Map is the engine's generic escape hatch: sweeps whose measurement logic
+// does not fit SweepSpec (the experiment harness's custom closures) still
+// run on a deterministic parallel pool.
+func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	out := make([]T, n)
+	errs := make([]error, n)
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				out[i], errs[i] = fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("engine: job %d: %w", i, err)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,248 @@
+package engine
+
+import (
+	"fmt"
+
+	"rotorring/internal/core"
+	"rotorring/internal/graph"
+	"rotorring/internal/randwalk"
+	"rotorring/internal/xrand"
+)
+
+// graphKey identifies one constructed topology in the worker's cache.
+type graphKey struct {
+	topology string
+	n        int
+}
+
+// worker holds the per-goroutine reusable state: a topology cache and the
+// prototype System of the last deterministic cell it ran, which subsequent
+// replicas of the same cell reuse via Reset (or run on a Clone when the
+// measurement must not disturb it). Workers never share mutable state, so
+// the hot StepHeld loop runs without locks, and the System's internal
+// scratch buffers keep it allocation-free across rounds.
+type worker struct {
+	graphs map[graphKey]*graph.Graph
+
+	protoCell int // cell index the cached prototype was built for
+	proto     *core.System
+}
+
+func newWorker() *worker {
+	return &worker{graphs: make(map[graphKey]*graph.Graph), protoCell: -1}
+}
+
+// graph returns the cached topology for a cell, constructing it on first
+// use. Topology constructors are deterministic, so caching cannot affect
+// results.
+func (w *worker) graph(c Cell) (*graph.Graph, error) {
+	key := graphKey{topology: c.Topology, n: c.N}
+	if g, ok := w.graphs[key]; ok {
+		return g, nil
+	}
+	g, err := BuildGraph(c.Topology, c.N)
+	if err != nil {
+		return nil, err
+	}
+	w.graphs[key] = g
+	return g, nil
+}
+
+// CoverBudget is the library's automatic round budget for cover-time runs:
+// comfortably above the worst case Theta(n^2) of any ring initialization
+// (and of Theta(D*|E|) lock-in at the scales this library targets). The
+// root package's simulations and the sweep engine share this one formula.
+func CoverBudget(g *graph.Graph) int64 {
+	b := 16 * int64(g.NumNodes()) * int64(g.NumEdges())
+	if min := int64(1 << 20); b < min {
+		b = min
+	}
+	return b
+}
+
+// budget returns the round budget for one job.
+func budget(spec *SweepSpec, g *graph.Graph) int64 {
+	if spec.MaxRounds > 0 {
+		return spec.MaxRounds
+	}
+	b := CoverBudget(g)
+	if spec.Metric == MetricReturn || spec.Process == ProcWalk {
+		// Limit-cycle location and randomized trials need headroom over
+		// the deterministic cover bound.
+		b *= 4
+	}
+	return b
+}
+
+// baseRow fills the identity columns of one job's row.
+func baseRow(spec *SweepSpec, c Cell, replica int, seed uint64) Row {
+	r := Row{
+		Cell:      c,
+		Placement: c.Placement.String(),
+		Process:   spec.Process.String(),
+		Metric:    spec.Metric.String(),
+		Replica:   replica,
+		Seed:      seed,
+	}
+	if spec.Process == ProcRotor {
+		r.Pointer = c.Pointer.String()
+	}
+	return r
+}
+
+// runJob executes one replica of one cell.
+func (w *worker) runJob(spec *SweepSpec, c Cell, replica int) Row {
+	seed := jobSeed(spec.Seed, c, replica)
+	row := baseRow(spec, c, replica, seed)
+	g, err := w.graph(c)
+	if err != nil {
+		row.Err = err.Error()
+		return row
+	}
+
+	// A cell is deterministic when no part of its configuration depends on
+	// the replica seed; its prototype System can then be reused across the
+	// replicas this worker receives.
+	deterministic := c.Placement != PlaceRandom && c.Pointer != PtrRandom
+	rng := xrand.New(seed)
+
+	positions, err := placePositions(c, g, rng)
+	if err != nil {
+		row.Err = err.Error()
+		return row
+	}
+
+	if spec.Process == ProcWalk {
+		w.measureWalk(spec, g, positions, rng, &row)
+		return row
+	}
+
+	var sys *core.System
+	if deterministic && w.protoCell == c.Index && w.proto != nil {
+		sys = w.proto
+		sys.Reset()
+	} else {
+		pointers, err := initialPointers(c, g, positions, rng)
+		if err != nil {
+			row.Err = err.Error()
+			return row
+		}
+		sys, err = core.NewSystem(g,
+			core.WithAgentsAt(positions...),
+			core.WithPointers(pointers))
+		if err != nil {
+			row.Err = err.Error()
+			return row
+		}
+		if deterministic {
+			w.protoCell = c.Index
+			w.proto = sys
+		} else {
+			w.protoCell = -1
+			w.proto = nil
+		}
+	}
+	measureRotor(spec, sys, deterministic && spec.Replicas > 1, &row)
+	return row
+}
+
+// placePositions computes the initial agent positions of one job.
+func placePositions(c Cell, g *graph.Graph, rng *xrand.Rand) ([]int, error) {
+	n := g.NumNodes()
+	switch c.Placement {
+	case PlaceSingle:
+		return core.AllOnNode(0, c.K), nil
+	case PlaceEqual:
+		return core.EquallySpaced(n, c.K), nil
+	case PlaceRandom:
+		return core.RandomPositions(n, c.K, rng), nil
+	default:
+		return nil, errInvalid("placement", int(c.Placement))
+	}
+}
+
+// initialPointers computes the initial pointer arrangement of one job.
+func initialPointers(c Cell, g *graph.Graph, positions []int, rng *xrand.Rand) ([]int, error) {
+	switch c.Pointer {
+	case PtrZero:
+		return core.PointersUniform(g, 0), nil
+	case PtrNegative:
+		return core.PointersNegative(g, positions)
+	case PtrToward:
+		return core.PointersTowardNode(g, 0)
+	case PtrRandom:
+		return core.PointersRandom(g, rng), nil
+	default:
+		return nil, errInvalid("pointer policy", int(c.Pointer))
+	}
+}
+
+// measureRotor runs the cell's metric on sys and fills the row. When
+// preserve is set, a mutating metric runs on a Clone so the caller's
+// prototype stays reusable for the next replica.
+func measureRotor(spec *SweepSpec, sys *core.System, preserve bool, row *Row) {
+	b := budget(spec, sys.Graph())
+	switch spec.Metric {
+	case MetricCover:
+		cover, err := sys.RunUntilCovered(b)
+		row.Rounds = sys.Round()
+		if err != nil {
+			row.Err = err.Error()
+			return
+		}
+		row.Value = float64(cover)
+	case MetricReturn:
+		if preserve {
+			sys = sys.Clone()
+		}
+		rs, err := core.MeasureReturnTime(sys, b)
+		row.Rounds = sys.Round()
+		if err != nil {
+			row.Err = err.Error()
+			return
+		}
+		row.Value = float64(rs.ReturnTime)
+		row.Period = rs.Period
+		row.MinVisits = rs.MinNodeVisits
+		row.MaxVisits = rs.MaxNodeVisits
+	}
+}
+
+// measureWalk runs one random-walk job: a cover-time trial for MetricCover,
+// or the mean inter-visit gap over a long window for MetricReturn (the
+// walk analogue of return time; expectation n/k on the ring).
+func (w *worker) measureWalk(spec *SweepSpec, g *graph.Graph, positions []int, rng *xrand.Rand, row *Row) {
+	walk, err := randwalk.New(g, positions, rng)
+	if err != nil {
+		row.Err = err.Error()
+		return
+	}
+	switch spec.Metric {
+	case MetricCover:
+		cover, err := walk.RunUntilCovered(budget(spec, g))
+		row.Rounds = walk.Round()
+		if err != nil {
+			row.Err = err.Error()
+			return
+		}
+		row.Value = float64(cover)
+	case MetricReturn:
+		n := int64(g.NumNodes())
+		span := n / int64(row.K)
+		if span < 1 {
+			span = 1
+		}
+		// The window must dominate the (n/k)^2 diffusive scale or nodes
+		// between two walkers can stay unvisited all window.
+		burnIn, window := 10*n, 50*span*span+200*n
+		gs := walk.MeasureGaps(burnIn, window)
+		row.Rounds = walk.Round()
+		row.Value = gs.MeanGap
+		row.Period = gs.MaxGap // walk analogue: worst observed gap
+	}
+}
+
+// errInvalid reports an enum value that slipped past spec validation.
+func errInvalid(what string, v int) error {
+	return fmt.Errorf("engine: invalid %s %d", what, v)
+}

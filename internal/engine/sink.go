@@ -1,0 +1,225 @@
+package engine
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"rotorring/internal/stats"
+)
+
+// Row is the result of one job (one replica of one cell). Rows reach the
+// sinks in canonical order — cell index, then replica — independent of
+// worker count, so serialized sink output is byte-identical across runs.
+// Rows deliberately carry no wall-clock fields.
+type Row struct {
+	Cell
+	Placement string `json:"placement"`
+	Pointer   string `json:"pointer,omitempty"` // empty for walks
+	Process   string `json:"process"`
+	Metric    string `json:"metric"`
+	Replica   int    `json:"replica"`
+	Seed      uint64 `json:"seed"`
+
+	// Value is the measured metric: cover time for MetricCover, return
+	// time (rotor) or mean inter-visit gap (walk) for MetricReturn.
+	Value float64 `json:"value"`
+	// Rounds is the number of rounds the run executed.
+	Rounds int64 `json:"rounds"`
+	// Period is only set by MetricReturn: the limit-cycle length for
+	// rotor rows, the worst observed inter-visit gap for walk rows.
+	Period int64 `json:"period,omitempty"`
+	// MinVisits/MaxVisits are per-node visit extremes within one period
+	// (rotor MetricReturn only).
+	MinVisits int64 `json:"minVisits,omitempty"`
+	MaxVisits int64 `json:"maxVisits,omitempty"`
+	// Err is the measurement error, if any (e.g. budget exhausted). A
+	// failed job still produces its row so sweeps degrade gracefully.
+	Err string `json:"err,omitempty"`
+}
+
+// Sink consumes ordered sweep rows. Sinks are driven from one goroutine;
+// they need no locking.
+type Sink interface {
+	// Begin is called once before any row, with the expanded job count.
+	Begin(spec SweepSpec, jobs int) error
+	// Emit is called once per row, in canonical order.
+	Emit(row Row) error
+	// End is called once after the last row.
+	End() error
+}
+
+// jsonlSink writes one JSON object per row.
+type jsonlSink struct {
+	enc *json.Encoder
+}
+
+// NewJSONLSink returns a sink that streams rows as JSON lines.
+func NewJSONLSink(w io.Writer) Sink {
+	return &jsonlSink{enc: json.NewEncoder(w)}
+}
+
+func (s *jsonlSink) Begin(SweepSpec, int) error { return nil }
+func (s *jsonlSink) Emit(row Row) error         { return s.enc.Encode(row) }
+func (s *jsonlSink) End() error                 { return nil }
+
+// csvHeader is the fixed column set of the CSV sink.
+var csvHeader = []string{
+	"cell", "topology", "n", "k", "placement", "pointer", "process",
+	"metric", "replica", "seed", "value", "rounds", "period",
+	"min_visits", "max_visits", "err",
+}
+
+// csvSink writes rows as CSV with a fixed header.
+type csvSink struct {
+	cw *csv.Writer
+}
+
+// NewCSVSink returns a sink that streams rows as CSV.
+func NewCSVSink(w io.Writer) Sink {
+	return &csvSink{cw: csv.NewWriter(w)}
+}
+
+func (s *csvSink) Begin(SweepSpec, int) error { return s.cw.Write(csvHeader) }
+
+func (s *csvSink) Emit(r Row) error {
+	return s.cw.Write([]string{
+		strconv.Itoa(r.Index), r.Topology,
+		strconv.Itoa(r.N), strconv.Itoa(r.K),
+		r.Placement, r.Pointer, r.Process, r.Metric,
+		strconv.Itoa(r.Replica), strconv.FormatUint(r.Seed, 10),
+		strconv.FormatFloat(r.Value, 'g', -1, 64),
+		strconv.FormatInt(r.Rounds, 10),
+		strconv.FormatInt(r.Period, 10),
+		strconv.FormatInt(r.MinVisits, 10),
+		strconv.FormatInt(r.MaxVisits, 10),
+		r.Err,
+	})
+}
+
+func (s *csvSink) End() error {
+	s.cw.Flush()
+	return s.cw.Error()
+}
+
+// CellSummary aggregates the replicas of one cell with internal/stats.
+type CellSummary struct {
+	Cell
+	Placement string `json:"placement"`
+	Pointer   string `json:"pointer,omitempty"`
+	// Replicas is the number of successful rows aggregated; Failed counts
+	// rows that carried an error.
+	Replicas int `json:"replicas"`
+	Failed   int `json:"failed,omitempty"`
+
+	Mean   float64 `json:"mean"`
+	StdErr float64 `json:"stderr"`
+	Median float64 `json:"median"`
+	Min    float64 `json:"min"`
+	Max    float64 `json:"max"`
+}
+
+// SummarySink reduces each cell's replicas to summary statistics. Rows
+// arrive replica-adjacent (replicas are innermost in the canonical order),
+// so aggregation is streaming: one open cell at a time.
+type SummarySink struct {
+	cells []CellSummary
+
+	open    bool
+	current Row
+	values  []float64
+	failed  int
+}
+
+// NewSummarySink returns an empty summary aggregator.
+func NewSummarySink() *SummarySink { return &SummarySink{} }
+
+// Begin implements Sink.
+func (s *SummarySink) Begin(SweepSpec, int) error {
+	s.cells = s.cells[:0]
+	s.open = false
+	return nil
+}
+
+// Emit implements Sink.
+func (s *SummarySink) Emit(row Row) error {
+	if s.open && row.Index != s.current.Index {
+		s.flush()
+	}
+	if !s.open {
+		s.open = true
+		s.current = row
+		s.values = s.values[:0]
+		s.failed = 0
+	}
+	if row.Err != "" {
+		s.failed++
+		return nil
+	}
+	s.values = append(s.values, row.Value)
+	return nil
+}
+
+// End implements Sink.
+func (s *SummarySink) End() error {
+	if s.open {
+		s.flush()
+	}
+	return nil
+}
+
+func (s *SummarySink) flush() {
+	cs := CellSummary{
+		Cell:      s.current.Cell,
+		Placement: s.current.Placement,
+		Pointer:   s.current.Pointer,
+		Replicas:  len(s.values),
+		Failed:    s.failed,
+	}
+	if sum, err := stats.Summarize(s.values); err == nil {
+		cs.Mean = sum.Mean
+		cs.Median = sum.Median
+		cs.Min = sum.Min
+		cs.Max = sum.Max
+		if len(s.values) > 1 {
+			cs.StdErr = sum.StdErr // NaN below two samples; keep JSON-safe zero
+		}
+	}
+	s.cells = append(s.cells, cs)
+	s.open = false
+}
+
+// Cells returns the per-cell summaries in canonical cell order. Valid after
+// End.
+func (s *SummarySink) Cells() []CellSummary { return s.cells }
+
+// WriteTable renders the summaries as an aligned text table.
+func (s *SummarySink) WriteTable(w io.Writer) error {
+	for _, c := range s.cells {
+		ptr := c.Pointer
+		if ptr == "" {
+			ptr = "-"
+		}
+		stderr := "-" // undefined below two samples
+		if c.Replicas > 1 {
+			stderr = fmt.Sprintf("%.1f", c.StdErr)
+		}
+		_, err := fmt.Fprintf(w, "%-10s n=%-6d k=%-4d %-7s %-9s mean=%.1f stderr=%s median=%.1f range=[%.0f,%.0f] replicas=%d",
+			c.Topology, c.N, c.K, c.Placement, ptr,
+			c.Mean, stderr, c.Median, c.Min, c.Max, c.Replicas)
+		if err != nil {
+			return err
+		}
+		if c.Failed > 0 {
+			if _, err := fmt.Fprintf(w, " failed=%d", c.Failed); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,335 @@
+// Package engine is the deterministic parallel experiment engine: it fans a
+// grid of sweep configurations (topology, size, agent count, placement,
+// pointer policy, replicas) across a pool of workers, each reusing a cloned
+// core.System, and streams the results in a canonical order into pluggable
+// sinks. Results are bit-identical regardless of worker count or goroutine
+// scheduling: every job's seed is derived from its grid coordinates (never
+// from execution order), and rows are re-sequenced into job order before
+// they reach a sink.
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"rotorring/internal/graph"
+)
+
+// Placement selects the initial agent positions of a sweep cell. The values
+// deliberately mirror the root package's PlacementPolicy constants so the
+// public API can convert by casting.
+type Placement int
+
+// Placements.
+const (
+	// PlaceSingle puts all k agents on node 0 (the paper's worst case).
+	PlaceSingle Placement = iota + 1
+	// PlaceEqual spreads the agents at positions floor(i*n/k) (best case).
+	PlaceEqual
+	// PlaceRandom samples k independent uniform positions from the job
+	// seed.
+	PlaceRandom
+)
+
+// ParsePlacement converts a flag string (single|equal|random).
+func ParsePlacement(s string) (Placement, error) {
+	switch strings.ToLower(s) {
+	case "single":
+		return PlaceSingle, nil
+	case "equal":
+		return PlaceEqual, nil
+	case "random":
+		return PlaceRandom, nil
+	default:
+		return 0, fmt.Errorf("engine: unknown placement %q (single|equal|random)", s)
+	}
+}
+
+func (p Placement) String() string {
+	switch p {
+	case PlaceSingle:
+		return "single"
+	case PlaceEqual:
+		return "equal"
+	case PlaceRandom:
+		return "random"
+	default:
+		return fmt.Sprintf("placement(%d)", int(p))
+	}
+}
+
+// Pointer selects the initial port-pointer arrangement of a sweep cell
+// (rotor-router only). Values mirror the root package's PointerPolicy.
+type Pointer int
+
+// Pointer arrangements.
+const (
+	// PtrZero leaves every pointer at port 0.
+	PtrZero Pointer = iota + 1
+	// PtrNegative points every node toward its nearest starting agent
+	// (the adversarial barrier of Theorem 4).
+	PtrNegative
+	// PtrToward points every node toward node 0 along shortest paths
+	// (with PlaceSingle, the Theta(n^2/log k) worst case of Theorem 1).
+	PtrToward
+	// PtrRandom samples uniform pointers from the job seed.
+	PtrRandom
+)
+
+// ParsePointer converts a flag string (zero|negative|toward|random).
+func ParsePointer(s string) (Pointer, error) {
+	switch strings.ToLower(s) {
+	case "zero":
+		return PtrZero, nil
+	case "negative":
+		return PtrNegative, nil
+	case "toward":
+		return PtrToward, nil
+	case "random":
+		return PtrRandom, nil
+	default:
+		return 0, fmt.Errorf("engine: unknown pointer policy %q (zero|negative|toward|random)", s)
+	}
+}
+
+func (p Pointer) String() string {
+	switch p {
+	case PtrZero:
+		return "zero"
+	case PtrNegative:
+		return "negative"
+	case PtrToward:
+		return "toward"
+	case PtrRandom:
+		return "random"
+	default:
+		return fmt.Sprintf("pointer(%d)", int(p))
+	}
+}
+
+// Process selects which of the paper's two processes a sweep runs.
+type Process int
+
+// Processes.
+const (
+	// ProcRotor is the deterministic multi-agent rotor-router.
+	ProcRotor Process = iota + 1
+	// ProcWalk is the randomized baseline: k independent random walks.
+	ProcWalk
+)
+
+func (p Process) String() string {
+	switch p {
+	case ProcRotor:
+		return "rotor"
+	case ProcWalk:
+		return "walk"
+	default:
+		return fmt.Sprintf("process(%d)", int(p))
+	}
+}
+
+// Metric selects the quantity measured per job.
+type Metric int
+
+// Metrics.
+const (
+	// MetricCover measures the cover time (first round with every node
+	// visited). For ProcWalk each replica is one independent trial.
+	MetricCover Metric = iota + 1
+	// MetricReturn measures the limit-cycle return time for ProcRotor
+	// (Theorem 6) and the mean inter-visit gap over a long window for
+	// ProcWalk (the paper's closing comparison).
+	MetricReturn
+)
+
+func (m Metric) String() string {
+	switch m {
+	case MetricCover:
+		return "cover"
+	case MetricReturn:
+		return "return"
+	default:
+		return fmt.Sprintf("metric(%d)", int(m))
+	}
+}
+
+// BuildGraph constructs a named topology of size parameter n: node count
+// for ring/path/complete/star, side length for grid/torus, dimension for
+// hypercube, levels for btree. It is the one topology registry shared by
+// the engine and the commands. Constructor panics on out-of-range sizes
+// (e.g. Ring(2)) are converted to errors so sweeps and CLI runs fail
+// gracefully instead of crashing a worker.
+func BuildGraph(topology string, n int) (g *graph.Graph, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			g, err = nil, fmt.Errorf("engine: %s(%d): %v", strings.ToLower(topology), n, r)
+		}
+	}()
+	switch strings.ToLower(topology) {
+	case "ring":
+		return graph.Ring(n), nil
+	case "path":
+		return graph.Path(n), nil
+	case "grid":
+		return graph.Grid2D(n, n), nil
+	case "torus":
+		return graph.Torus2D(n, n), nil
+	case "complete":
+		return graph.Complete(n), nil
+	case "star":
+		return graph.Star(n), nil
+	case "hypercube":
+		return graph.Hypercube(n), nil
+	case "btree":
+		return graph.CompleteBinaryTree(n), nil
+	default:
+		return nil, fmt.Errorf("engine: unknown topology %q (ring|path|grid|torus|complete|star|hypercube|btree)", topology)
+	}
+}
+
+// SweepSpec describes a grid of experiment configurations: the cross
+// product Sizes x Agents x Placements x Pointers, each run Replicas times.
+// The zero value of the optional fields selects defaults (rotor process,
+// cover metric, one replica, automatic round budget).
+type SweepSpec struct {
+	// Topology names the graph family; see BuildGraph.
+	Topology string `json:"topology"`
+	// Sizes lists the size parameters n to sweep.
+	Sizes []int `json:"sizes"`
+	// Agents lists the agent counts k to sweep.
+	Agents []int `json:"agents"`
+	// Placements lists the initial placements; default PlaceSingle.
+	Placements []Placement `json:"placements,omitempty"`
+	// Pointers lists the pointer arrangements; default PtrZero. Ignored
+	// (collapsed to one cell) for ProcWalk, which has no pointers.
+	Pointers []Pointer `json:"pointers,omitempty"`
+	// Process selects rotor-router or random walks; default ProcRotor.
+	Process Process `json:"process,omitempty"`
+	// Metric selects the measured quantity; default MetricCover.
+	Metric Metric `json:"metric,omitempty"`
+	// Replicas is the number of runs per cell, each with its own derived
+	// seed; default 1. Replicas of a deterministic configuration verify
+	// reproducibility; replicas of randomized ones sample it.
+	Replicas int `json:"replicas,omitempty"`
+	// Seed is the base seed every job seed is derived from. Zero is a
+	// valid base, distinct from every other.
+	Seed uint64 `json:"seed,omitempty"`
+	// MaxRounds bounds each run; 0 selects an automatic budget well above
+	// the paper's worst-case Theta(n^2).
+	MaxRounds int64 `json:"maxRounds,omitempty"`
+}
+
+// withDefaults returns a copy with defaults filled in and the grid
+// validated.
+func (s SweepSpec) withDefaults() (SweepSpec, error) {
+	// Normalize so seed derivation (which hashes the topology string)
+	// cannot distinguish "RING" from "ring" while BuildGraph accepts both.
+	s.Topology = strings.ToLower(s.Topology)
+	if s.Topology == "" {
+		s.Topology = "ring"
+	}
+	if len(s.Sizes) == 0 {
+		return s, fmt.Errorf("engine: sweep needs at least one size")
+	}
+	if len(s.Agents) == 0 {
+		return s, fmt.Errorf("engine: sweep needs at least one agent count")
+	}
+	for _, k := range s.Agents {
+		if k < 1 {
+			return s, fmt.Errorf("engine: agent count %d < 1", k)
+		}
+	}
+	if len(s.Placements) == 0 {
+		s.Placements = []Placement{PlaceSingle}
+	}
+	if s.Process == 0 {
+		s.Process = ProcRotor
+	}
+	if s.Process == ProcWalk || len(s.Pointers) == 0 {
+		// Walks have no pointers: collapse the axis so the grid has no
+		// duplicate cells.
+		s.Pointers = []Pointer{PtrZero}
+	}
+	if s.Metric == 0 {
+		s.Metric = MetricCover
+	}
+	if s.Replicas == 0 {
+		s.Replicas = 1
+	}
+	if s.Replicas < 0 {
+		return s, fmt.Errorf("engine: negative replica count %d", s.Replicas)
+	}
+	// Validate enums and the topology eagerly so Run fails before any
+	// worker starts.
+	for _, p := range s.Placements {
+		if p < PlaceSingle || p > PlaceRandom {
+			return s, fmt.Errorf("engine: invalid placement %d", int(p))
+		}
+	}
+	for _, p := range s.Pointers {
+		if p < PtrZero || p > PtrRandom {
+			return s, fmt.Errorf("engine: invalid pointer policy %d", int(p))
+		}
+	}
+	if s.Process != ProcRotor && s.Process != ProcWalk {
+		return s, fmt.Errorf("engine: invalid process %d", int(s.Process))
+	}
+	if s.Metric != MetricCover && s.Metric != MetricReturn {
+		return s, fmt.Errorf("engine: invalid metric %d", int(s.Metric))
+	}
+	// Validate the topology by name only — constructing a graph here just
+	// to throw it away would build huge topologies before any worker
+	// starts. Out-of-range sizes surface as per-job error rows.
+	switch s.Topology {
+	case "ring", "path", "grid", "torus", "complete", "star", "hypercube", "btree":
+	default:
+		return s, fmt.Errorf("engine: unknown topology %q (ring|path|grid|torus|complete|star|hypercube|btree)", s.Topology)
+	}
+	return s, nil
+}
+
+// Cell is one grid point of a sweep: a fully specified configuration, run
+// Replicas times by one worker.
+type Cell struct {
+	// Index is the cell's position in the canonical grid order (sizes
+	// outermost, then agents, placements, pointers).
+	Index     int       `json:"cell"`
+	Topology  string    `json:"topology"`
+	N         int       `json:"n"` // size parameter passed to BuildGraph
+	K         int       `json:"k"`
+	Placement Placement `json:"-"`
+	Pointer   Pointer   `json:"-"`
+}
+
+// Cells expands the grid in canonical order. The cell order — and therefore
+// the order rows reach the sinks — depends only on the spec.
+func (s SweepSpec) Cells() ([]Cell, error) {
+	spec, err := s.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	return spec.expand(), nil
+}
+
+// expand builds the canonical cell grid of an already-normalized spec.
+func (s SweepSpec) expand() []Cell {
+	cells := make([]Cell, 0, len(s.Sizes)*len(s.Agents)*len(s.Placements)*len(s.Pointers))
+	for _, n := range s.Sizes {
+		for _, k := range s.Agents {
+			for _, pl := range s.Placements {
+				for _, pt := range s.Pointers {
+					cells = append(cells, Cell{
+						Index:     len(cells),
+						Topology:  s.Topology,
+						N:         n,
+						K:         k,
+						Placement: pl,
+						Pointer:   pt,
+					})
+				}
+			}
+		}
+	}
+	return cells
+}

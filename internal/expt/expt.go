@@ -14,10 +14,10 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
-	"runtime"
 	"sort"
 	"strings"
-	"sync"
+
+	"rotorring/internal/engine"
 )
 
 // Scale selects sweep sizes.
@@ -46,8 +46,12 @@ func ParseScale(s string) (Scale, error) {
 type Config struct {
 	Scale Scale
 	// Seed drives every randomized component; experiments are
-	// deterministic given (Scale, Seed).
+	// deterministic given (Scale, Seed) — Workers only affects wall-clock
+	// time, never results.
 	Seed uint64
+	// Workers bounds the experiment engine's parallelism; 0 selects
+	// GOMAXPROCS.
+	Workers int
 }
 
 // Table is a rendered result table.
@@ -209,48 +213,30 @@ type sweepPoint struct {
 	extra string // free-form annotation column
 }
 
-// runSweep evaluates measure on the cross product of ns × ks in parallel
-// (bounded by GOMAXPROCS), returning points in deterministic (n, k) order.
-func runSweep(ns, ks []int, measure func(n, k int) (float64, string, error)) ([]sweepPoint, error) {
+// runSweep evaluates measure on the cross product of ns × ks on the
+// experiment engine's deterministic parallel pool (bounded by cfg.Workers),
+// returning points in (n, k) grid order regardless of scheduling.
+func runSweep(cfg Config, ns, ks []int, measure func(n, k int) (float64, string, error)) ([]sweepPoint, error) {
 	type job struct{ n, k int }
-	var jobs []job
+	jobs := make([]job, 0, len(ns)*len(ks))
 	for _, n := range ns {
 		for _, k := range ks {
 			jobs = append(jobs, job{n, k})
 		}
 	}
-	points := make([]sweepPoint, len(jobs))
-	errs := make([]error, len(jobs))
-
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(jobs) {
-		workers = len(jobs)
-	}
-	next := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for idx := range next {
-				j := jobs[idx]
-				v, extra, err := measure(j.n, j.k)
-				points[idx] = sweepPoint{n: j.n, k: j.k, value: v, extra: extra}
-				errs[idx] = err
-			}
-		}()
-	}
-	for i := range jobs {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
-
-	for i, err := range errs {
+	points, err := engine.Map(cfg.Workers, len(jobs), func(i int) (sweepPoint, error) {
+		j := jobs[i]
+		v, extra, err := measure(j.n, j.k)
 		if err != nil {
-			return nil, fmt.Errorf("expt: point n=%d k=%d: %w", jobs[i].n, jobs[i].k, err)
+			return sweepPoint{}, fmt.Errorf("expt: point n=%d k=%d: %w", j.n, j.k, err)
 		}
+		return sweepPoint{n: j.n, k: j.k, value: v, extra: extra}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	// Tables list points by (n, k) even when the caller's axes are
+	// unsorted.
 	sort.SliceStable(points, func(a, b int) bool {
 		if points[a].n != points[b].n {
 			return points[a].n < points[b].n

@@ -93,7 +93,7 @@ func TestShapeCheck(t *testing.T) {
 }
 
 func TestRunSweepOrderAndErrors(t *testing.T) {
-	pts, err := runSweep([]int{2, 1}, []int{3, 4}, func(n, k int) (float64, string, error) {
+	pts, err := runSweep(Config{Workers: 2}, []int{2, 1}, []int{3, 4}, func(n, k int) (float64, string, error) {
 		return float64(n * k), "", nil
 	})
 	if err != nil {

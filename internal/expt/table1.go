@@ -60,7 +60,7 @@ func expE1() *Experiment {
 		Claim:    "k-agent rotor-router, worst-case start: cover time Θ(n²/log k)",
 		Run: func(cfg Config) (*Result, error) {
 			ns, ks, _ := sweepSizes(cfg.Scale)
-			points, err := runSweep(ns, ks, func(n, k int) (float64, string, error) {
+			points, err := runSweep(cfg, ns, ks, func(n, k int) (float64, string, error) {
 				v, err := rotorCoverTime(n, k, worstPlacement, towardStartPointers)
 				return v, "", err
 			})
@@ -98,7 +98,7 @@ func expE2() *Experiment {
 		Claim:    "k-agent rotor-router, best-case start: cover time Θ(n²/k²)",
 		Run: func(cfg Config) (*Result, error) {
 			ns, ks, _ := sweepSizes(cfg.Scale)
-			points, err := runSweep(ns, ks, func(n, k int) (float64, string, error) {
+			points, err := runSweep(cfg, ns, ks, func(n, k int) (float64, string, error) {
 				v, err := rotorCoverTime(n, k, bestPlacement, negativePointers)
 				return v, "", err
 			})
@@ -258,7 +258,7 @@ func expE3() *Experiment {
 		Claim:    "k random walks, worst-case start: E[cover] = Θ(n²/log k)",
 		Run: func(cfg Config) (*Result, error) {
 			ns, ks, trials := sweepSizes(cfg.Scale)
-			points, err := runSweep(ns, ks, func(n, k int) (float64, string, error) {
+			points, err := runSweep(cfg, ns, ks, func(n, k int) (float64, string, error) {
 				return walkCoverMean(n, k, trials, cfg.Seed+uint64(n)*31+uint64(k), worstPlacement)
 			})
 			if err != nil {
@@ -284,7 +284,7 @@ func expE4() *Experiment {
 		Claim:    "k random walks, best-case start: E[cover] = Θ((n/k)²·log²k)",
 		Run: func(cfg Config) (*Result, error) {
 			ns, ks, trials := sweepSizes(cfg.Scale)
-			points, err := runSweep(ns, ks, func(n, k int) (float64, string, error) {
+			points, err := runSweep(cfg, ns, ks, func(n, k int) (float64, string, error) {
 				return walkCoverMean(n, k, trials, cfg.Seed+uint64(n)*17+uint64(k), bestPlacement)
 			})
 			if err != nil {
@@ -337,11 +337,11 @@ func expE5() *Experiment {
 				}
 			}
 
-			best, err := runSweep(ns, ks, measure(bestPlacement, negativePointers))
+			best, err := runSweep(cfg, ns, ks, measure(bestPlacement, negativePointers))
 			if err != nil {
 				return nil, err
 			}
-			worst, err := runSweep(ns, ks, measure(worstPlacement, towardStartPointers))
+			worst, err := runSweep(cfg, ns, ks, measure(worstPlacement, towardStartPointers))
 			if err != nil {
 				return nil, err
 			}
@@ -357,7 +357,7 @@ func expE5() *Experiment {
 			// Random-walk mean inter-visit gap for comparison. The window
 			// must dominate the (n/k)² diffusive scale, or nodes between
 			// two walkers can stay unvisited for the whole observation.
-			walkPoints, err := runSweep(ns, ks, func(n, k int) (float64, string, error) {
+			walkPoints, err := runSweep(cfg, ns, ks, func(n, k int) (float64, string, error) {
 				g := graph.Ring(n)
 				w, err := randwalk.New(g, bestPlacement(n, k), seededRng(cfg.Seed, n, k))
 				if err != nil {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"rotorring/internal/core"
+	"rotorring/internal/engine"
 	"rotorring/internal/ringdom"
 	"rotorring/internal/xrand"
 )
@@ -246,17 +247,11 @@ func (s *RotorSim) Run(rounds int64) {
 	}
 }
 
-// defaultCoverBudget bounds cover-time runs when the caller passes 0:
-// comfortably above the worst case Θ(n²) of any initialization on the
-// n-node ring (and of Θ(D·|E|) lock-in at the scales this library targets).
+// defaultCoverBudget bounds cover-time runs when the caller passes 0. The
+// formula lives in the engine package so sweeps and direct simulations can
+// never disagree on when a run is declared budget-exhausted.
 func defaultCoverBudget(g *Graph) int64 {
-	n := int64(g.NumNodes())
-	m := int64(g.NumEdges())
-	b := 16 * n * m
-	if min := int64(1 << 20); b < min {
-		b = min
-	}
-	return b
+	return engine.CoverBudget(g)
 }
 
 // CoverTime runs until every node has been visited and returns the cover

@@ -1,0 +1,139 @@
+package rotorring
+
+import (
+	"io"
+
+	"rotorring/internal/engine"
+)
+
+// SweepSpec describes a grid of experiments: the cross product of Sizes ×
+// Agents × Placements × Pointers, each configuration run Replicas times
+// with a seed derived from Seed and the configuration (never from execution
+// order). Sweeps therefore produce bit-identical results regardless of how
+// many workers run them.
+//
+// Zero-valued optional fields select defaults: ring topology, PlaceSingleNode,
+// PointerZero, rotor-router process, cover-time metric, one replica,
+// automatic round budget. Seed 0 is a valid base seed.
+type SweepSpec struct {
+	// Topology names the graph family: ring, path, grid, torus, complete,
+	// star, hypercube or btree. The size parameter is the node count, side
+	// length (grid/torus), dimension (hypercube) or level count (btree).
+	Topology string
+	// Sizes lists the size parameters to sweep.
+	Sizes []int
+	// Agents lists the agent counts k to sweep.
+	Agents []int
+	// Placements lists the initial placements.
+	Placements []PlacementPolicy
+	// Pointers lists the initial pointer policies (ignored for walks).
+	Pointers []PointerPolicy
+	// Walk selects the randomized baseline (k independent random walks)
+	// instead of the rotor-router.
+	Walk bool
+	// ReturnTime measures the limit-cycle return time (rotor) or the mean
+	// inter-visit gap (walk) instead of the cover time.
+	ReturnTime bool
+	// Replicas is the number of runs per configuration.
+	Replicas int
+	// Seed is the base seed of the sweep.
+	Seed uint64
+	// MaxRounds bounds each run (0 = automatic).
+	MaxRounds int64
+}
+
+// SweepRow is the result of one sweep job (one replica of one grid cell).
+type SweepRow struct {
+	Topology  string
+	N, K      int
+	Placement PlacementPolicy
+	Pointer   PointerPolicy // zero for walks
+	Replica   int
+	// Seed is the derived per-job seed.
+	Seed uint64
+	// Value is the measured metric: cover time, or return time / mean gap
+	// with ReturnTime set.
+	Value float64
+	// Rounds is the number of simulated rounds.
+	Rounds int64
+	// Period is only set by return-time sweeps: the limit-cycle length
+	// for the rotor, the worst observed inter-visit gap for walks.
+	Period int64
+	// Err is the per-job failure, e.g. an exhausted round budget; failed
+	// jobs report rather than abort the sweep.
+	Err string
+}
+
+// engineSpec converts the public spec. Placement and pointer enums are
+// defined with identical values in both packages.
+func (s SweepSpec) engineSpec() engine.SweepSpec {
+	es := engine.SweepSpec{
+		Topology:  s.Topology,
+		Sizes:     s.Sizes,
+		Agents:    s.Agents,
+		Replicas:  s.Replicas,
+		Seed:      s.Seed,
+		MaxRounds: s.MaxRounds,
+	}
+	for _, p := range s.Placements {
+		es.Placements = append(es.Placements, engine.Placement(p))
+	}
+	for _, p := range s.Pointers {
+		es.Pointers = append(es.Pointers, engine.Pointer(p))
+	}
+	if s.Walk {
+		es.Process = engine.ProcWalk
+	}
+	if s.ReturnTime {
+		es.Metric = engine.MetricReturn
+	}
+	return es
+}
+
+func publicRows(rows []engine.Row) []SweepRow {
+	out := make([]SweepRow, len(rows))
+	for i, r := range rows {
+		out[i] = SweepRow{
+			Topology: r.Topology,
+			N:        r.N,
+			K:        r.K,
+			Replica:  r.Replica,
+			Seed:     r.Seed,
+			Value:    r.Value,
+			Rounds:   r.Rounds,
+			Period:   r.Period,
+			Err:      r.Err,
+		}
+		out[i].Placement = PlacementPolicy(r.Cell.Placement)
+		if r.Pointer != "" { // rotor rows carry a pointer policy; walk rows don't
+			out[i].Pointer = PointerPolicy(r.Cell.Pointer)
+		}
+	}
+	return out
+}
+
+// RunSweep executes the sweep on a worker pool of the given size (0 =
+// GOMAXPROCS) and returns the rows in canonical grid order: sizes, then
+// agents, placements, pointers, replicas. The worker count never affects
+// the results, only the wall-clock time.
+func RunSweep(spec SweepSpec, workers int) ([]SweepRow, error) {
+	rows, err := engine.New(engine.Workers(workers)).Run(spec.engineSpec())
+	if err != nil {
+		return nil, err
+	}
+	return publicRows(rows), nil
+}
+
+// WriteJSONL runs the sweep and streams one JSON object per job to w, in
+// canonical order; output is byte-identical for any worker count.
+func (s SweepSpec) WriteJSONL(w io.Writer, workers int) error {
+	_, err := engine.New(engine.Workers(workers)).Run(s.engineSpec(), engine.NewJSONLSink(w))
+	return err
+}
+
+// WriteCSV runs the sweep and streams the rows as CSV to w, in canonical
+// order; output is byte-identical for any worker count.
+func (s SweepSpec) WriteCSV(w io.Writer, workers int) error {
+	_, err := engine.New(engine.Workers(workers)).Run(s.engineSpec(), engine.NewCSVSink(w))
+	return err
+}

@@ -1,0 +1,134 @@
+package rotorring
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"rotorring/internal/engine"
+)
+
+// TestPolicyValuesAligned guards the cast-based conversion between the
+// public policy enums and the engine's: the numeric values must stay equal.
+func TestPolicyValuesAligned(t *testing.T) {
+	placements := map[PlacementPolicy]engine.Placement{
+		PlaceSingleNode:   engine.PlaceSingle,
+		PlaceEqualSpacing: engine.PlaceEqual,
+		PlaceRandom:       engine.PlaceRandom,
+	}
+	for pub, eng := range placements {
+		if int(pub) != int(eng) {
+			t.Errorf("placement %v = %d, engine %v = %d", pub, int(pub), eng, int(eng))
+		}
+	}
+	pointers := map[PointerPolicy]engine.Pointer{
+		PointerZero:        engine.PtrZero,
+		PointerNegative:    engine.PtrNegative,
+		PointerTowardStart: engine.PtrToward,
+		PointerRandom:      engine.PtrRandom,
+	}
+	for pub, eng := range pointers {
+		if int(pub) != int(eng) {
+			t.Errorf("pointer %v = %d, engine %v = %d", pub, int(pub), eng, int(eng))
+		}
+	}
+}
+
+// TestRunSweepMatchesSingleSim: a 1-cell sweep reproduces exactly what the
+// single-simulation facade measures.
+func TestRunSweepMatchesSingleSim(t *testing.T) {
+	g := Ring(96)
+	sim, err := NewRotorSim(g, Agents(4),
+		Place(PlaceEqualSpacing), Pointers(PointerNegative))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := sim.CoverTime(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rows, err := RunSweep(SweepSpec{
+		Sizes:      []int{96},
+		Agents:     []int{4},
+		Placements: []PlacementPolicy{PlaceEqualSpacing},
+		Pointers:   []PointerPolicy{PointerNegative},
+	}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("got %d rows, want 1", len(rows))
+	}
+	r := rows[0]
+	if r.Err != "" {
+		t.Fatal(r.Err)
+	}
+	if int64(r.Value) != want {
+		t.Errorf("sweep cover %v, facade cover %d", r.Value, want)
+	}
+	if r.Placement != PlaceEqualSpacing || r.Pointer != PointerNegative {
+		t.Errorf("row policies not round-tripped: %+v", r)
+	}
+}
+
+// TestSweepWritersDeterministic: serialized sweep output is identical for
+// any worker count, including with randomized configurations.
+func TestSweepWritersDeterministic(t *testing.T) {
+	spec := SweepSpec{
+		Sizes:      []int{32, 48},
+		Agents:     []int{2, 4},
+		Placements: []PlacementPolicy{PlaceRandom},
+		Pointers:   []PointerPolicy{PointerRandom},
+		Replicas:   3,
+		Seed:       99,
+	}
+	var a, b, c bytes.Buffer
+	if err := spec.WriteJSONL(&a, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := spec.WriteJSONL(&b, 8); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("JSONL differs between 1 and 8 workers")
+	}
+	if err := spec.WriteCSV(&c, 4); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(c.String()), "\n")
+	if want := 1 + 4*3; len(lines) != want {
+		t.Errorf("CSV has %d lines, want %d", len(lines), want)
+	}
+}
+
+// TestRunSweepWalk: the walk process produces per-replica trials whose
+// sample varies.
+func TestRunSweepWalk(t *testing.T) {
+	rows, err := RunSweep(SweepSpec{
+		Sizes:    []int{48},
+		Agents:   []int{3},
+		Walk:     true,
+		Replicas: 6,
+		Seed:     5,
+	}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("got %d rows, want 6", len(rows))
+	}
+	distinct := map[float64]bool{}
+	for _, r := range rows {
+		if r.Err != "" {
+			t.Fatal(r.Err)
+		}
+		if r.Pointer != 0 {
+			t.Errorf("walk row carries pointer policy %v", r.Pointer)
+		}
+		distinct[r.Value] = true
+	}
+	if len(distinct) < 2 {
+		t.Error("walk replicas all equal; trial seeds look shared")
+	}
+}
