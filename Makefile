@@ -3,7 +3,10 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt fmt-check test race bench-smoke bench-json verify ci clean
+# Benchtime for bench-kernels; CI smoke uses 1x, local comparisons 1s+.
+BENCHTIME ?= 1s
+
+.PHONY: all build vet fmt fmt-check test race bench-smoke bench-kernels bench-baseline bench-json verify ci clean
 
 all: verify
 
@@ -33,11 +36,33 @@ race:
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
-# Regenerate the engine perf trajectory at the repo root.
-bench-json:
-	$(GO) test ./internal/engine -run TestEmitBenchJSON -bench-json $(CURDIR)/BENCH_engine.json -v
+# Per-kernel step throughput (rotor generic vs ring kernel, per-agent vs
+# counts walks) in benchstat format. Compare a working tree against the
+# committed trajectory with:
+#   make -s bench-baseline > old.txt && make -s bench-kernels > new.txt
+#   benchstat old.txt new.txt
+bench-kernels:
+	$(GO) test -run '^$$' -bench '^BenchmarkKernel$$' -benchtime $(BENCHTIME) .
 
-ci: build vet fmt-check race bench-smoke
+# Print the committed BENCH_engine.json kernel entries in go-bench format
+# (the benchstat baseline for bench-kernels).
+bench-baseline:
+	@$(GO) test -count=1 -v ./internal/engine -run TestPrintBenchBaseline \
+		-bench-baseline $(CURDIR)/BENCH_engine.json | grep '^Benchmark' || \
+		{ echo "bench-baseline: no kernel entries in BENCH_engine.json (run make bench-json)" >&2; exit 1; }
+
+# Regenerate the engine perf trajectory at the repo root. Warns if
+# GOMAXPROCS is below the measured worker counts (the speedup trajectory is
+# meaningless on a starved scheduler).
+bench-json:
+	$(GO) test -count=1 ./internal/engine -run TestEmitBenchJSON -bench-json $(CURDIR)/BENCH_engine.json -v
+
+ci: build vet fmt-check race bench-smoke bench-kernels-smoke
+
+# CI variant of bench-kernels: single iteration, still exercises every tier.
+.PHONY: bench-kernels-smoke
+bench-kernels-smoke:
+	$(GO) test -run '^$$' -bench '^BenchmarkKernel$$' -benchtime 1x .
 
 clean:
 	$(GO) clean ./...

@@ -12,6 +12,7 @@ import (
 	"rotorring/internal/continuum"
 	"rotorring/internal/core"
 	"rotorring/internal/deploy"
+	"rotorring/internal/engine"
 	"rotorring/internal/graph"
 	"rotorring/internal/randwalk"
 	"rotorring/internal/remote"
@@ -427,6 +428,28 @@ func BenchmarkEdgeRemoval(b *testing.B) {
 		mu = lc.StabilizationRound
 	}
 	b.ReportMetric(float64(mu), "restabilization-rounds")
+}
+
+// BenchmarkKernel — K1: per-kernel step throughput on the fixed tier
+// workloads of internal/engine.KernelBenchCases — the rotor pair (generic
+// engine vs ring kernel) on Ring(2^16) and the walk pair (per-agent vs
+// counts) at k = 10·n. `make bench-kernels` runs exactly these; the output
+// is benchstat-comparable against `make bench-baseline`, which prints the
+// committed BENCH_engine.json in the same format.
+func BenchmarkKernel(b *testing.B) {
+	for _, kc := range engine.KernelBenchCases() {
+		b.Run(kc.Name, func(b *testing.B) {
+			step, err := kc.NewStepper()
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				step()
+			}
+			b.ReportMetric(float64(b.N)*float64(kc.K)/b.Elapsed().Seconds(), "steps/sec")
+		})
+	}
 }
 
 // BenchmarkEngineStepRing measures raw engine throughput on the ring.

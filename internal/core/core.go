@@ -11,6 +11,14 @@
 // processes only occupied nodes, making a round cost O(Σ_{occupied v}
 // min(deg v, agents at v)) instead of O(k).
 //
+// Stepping is tiered (see internal/kernel): on ring and path topologies
+// with dense-enough agent populations, NewSystem selects a specialized flat
+// kernel whose rounds are a few linear scans with direct v±1 addressing and
+// closed-form degree-2 port splits — bit-identical to the generic engine,
+// several times faster. WithKernelMode forces either tier; flow or arc
+// recording, per-round holds, and anything off the ring/path fall back to
+// the generic path automatically.
+//
 // The engine also supports delayed deployments (§2.1): StepHeld freezes a
 // chosen number of agents per node for one round, which is the primitive
 // that the deploy package's schedules are built from.
@@ -21,12 +29,41 @@ import (
 	"fmt"
 
 	"rotorring/internal/graph"
-	"rotorring/internal/xrand"
+	"rotorring/internal/kernel"
 )
 
 // ErrNotCovered is returned by RunUntilCovered when the round budget is
 // exhausted before every node has been visited.
 var ErrNotCovered = errors.New("core: cover-time budget exhausted")
+
+// KernelMode selects the stepping tier of a System.
+type KernelMode int
+
+// Kernel modes.
+const (
+	// KernelAuto picks the specialized kernel when the topology has one and
+	// the agent population is dense enough to profit (k ≥ n/8), the generic
+	// engine otherwise. This is the default.
+	KernelAuto KernelMode = iota
+	// KernelGeneric forces the generic port-labeled-graph engine.
+	KernelGeneric
+	// KernelFast forces the specialized kernel whenever the topology has
+	// one, regardless of density; unsupported topologies silently use the
+	// generic engine (so grids mixing ring and torus cells need no
+	// per-cell configuration).
+	KernelFast
+)
+
+func (m KernelMode) String() string {
+	switch m {
+	case KernelGeneric:
+		return "generic"
+	case KernelFast:
+		return "fast"
+	default:
+		return "auto"
+	}
+}
 
 // System is a running multi-agent rotor-router. It is not safe for
 // concurrent use; experiments run independent Systems per goroutine.
@@ -35,36 +72,38 @@ type System struct {
 	n int
 	k int64
 
-	ptr    []int32 // π_v as a port index
-	ptr0   []int32 // initial pointers, for the arc-traversal law and Reset
-	agents []int64 // agents currently at v
-	ag0    []int64 // initial agent counts, for Reset
+	// st holds the flat configuration state shared with the stepping
+	// kernels; see kernel.State.
+	st kernel.State
 
+	// fast is the specialized kernel selected for this system (nil when
+	// only the generic engine applies). Fully-active rounds without flow
+	// or arc recording run on it; everything else takes the generic path.
+	fast  kernel.Stepper
+	kmode KernelMode
+
+	ptr0 []int32 // initial pointers, for the arc-traversal law and Reset
+	ag0  []int64 // initial agent counts, for Reset
+
+	// The occupied list is generic-engine bookkeeping: specialized kernels
+	// do not maintain it, so it is rebuilt lazily (occValid) when the
+	// generic engine or an accessor next needs it.
 	occupied []int  // nodes with agents[v] > 0, unordered
 	inOcc    []bool // membership flags for occupied
+	occValid bool
 
-	visits     []int64 // n_v(t): initial agents at v plus arrivals in [1,t]
-	exits      []int64 // e_v(t): departures from v in [1,t]
-	coveredAt  []int64 // round of first visit, -1 if uncovered
-	covered    int
-	coverRound int64 // round at which covered == n, -1 before that
-	round      int64 // completed rounds
-
-	fullyActiveRounds int64 // rounds in which no agent was held (Lemma 3's τ)
-
-	// Incremental configuration hash over (ptr, agents); see hash.go.
-	hash uint64
+	// lastVisitedFast marks that the last completed round ran on a
+	// specialized kernel, which skips the per-round visited list: in a
+	// fully-active round the visited nodes are exactly the occupied ones,
+	// so LastVisited derives the list on demand.
+	lastVisitedFast bool
 
 	// Round-stamped change tracking for incremental hashing: the first
 	// modification of agents[v] in a round records the pre-round count.
+	// Only maintained while hashing is enabled (WithConfigHash).
 	lastTouch []int64 // round stamp of last touch, 0 = never
 	oldCnt    []int64 // agents[v] before this round's first modification
 	changed   []int   // nodes touched this round
-
-	// Per-round visited-node tracking: nodes that received at least one
-	// arrival during the last completed round.
-	visitStamp  []int64
-	lastVisited []int
 
 	// Optional per-round flow recording (per arc of the last completed
 	// round), used by the ring domain tracker.
@@ -91,6 +130,8 @@ type config struct {
 	pointers  []int
 	flows     bool
 	arcs      bool
+	hash      bool
+	kmode     KernelMode
 }
 
 // WithAgentsAt places one agent on each listed node (repeats allowed:
@@ -122,7 +163,8 @@ func WithPointers(pointers []int) Option {
 }
 
 // WithFlowRecording enables per-round arc flow recording (LastFlow), needed
-// by the domain tracker. It costs O(moved arcs) extra per round.
+// by the domain tracker. It costs O(moved arcs) extra per round and pins
+// the system to the generic stepping engine.
 func WithFlowRecording() Option {
 	return func(c *config) error {
 		c.flows = true
@@ -131,10 +173,33 @@ func WithFlowRecording() Option {
 }
 
 // WithArcCounting enables cumulative per-arc traversal counters
-// (ArcTraversals), used by the Eulerian-circulation checks.
+// (ArcTraversals), used by the Eulerian-circulation checks. Like flow
+// recording it pins the system to the generic stepping engine.
 func WithArcCounting() Option {
 	return func(c *config) error {
 		c.arcs = true
+		return nil
+	}
+}
+
+// WithConfigHash enables incremental configuration hashing from round zero.
+// Hashing costs two mixes per moved node per round, so it is off by
+// default; FindLimitCycle and MeasureReturnTime enable it on demand (see
+// EnableConfigHash), and ConfigHash self-enables on first call.
+func WithConfigHash() Option {
+	return func(c *config) error {
+		c.hash = true
+		return nil
+	}
+}
+
+// WithKernelMode selects the stepping tier; the default is KernelAuto.
+func WithKernelMode(m KernelMode) Option {
+	return func(c *config) error {
+		if m < KernelAuto || m > KernelFast {
+			return fmt.Errorf("core: invalid kernel mode %d", int(m))
+		}
+		c.kmode = m
 		return nil
 	}
 }
@@ -151,20 +216,15 @@ func NewSystem(g *graph.Graph, opts ...Option) (*System, error) {
 	n := g.NumNodes()
 
 	s := &System{
-		g:          g,
-		n:          n,
-		ptr:        make([]int32, n),
-		ptr0:       make([]int32, n),
-		agents:     make([]int64, n),
-		ag0:        make([]int64, n),
-		inOcc:      make([]bool, n),
-		visits:     make([]int64, n),
-		exits:      make([]int64, n),
-		coveredAt:  make([]int64, n),
-		coverRound: -1,
-		lastTouch:  make([]int64, n),
-		oldCnt:     make([]int64, n),
-		visitStamp: make([]int64, n),
+		g:         g,
+		n:         n,
+		st:        kernel.NewState(n),
+		kmode:     c.kmode,
+		ptr0:      make([]int32, n),
+		ag0:       make([]int64, n),
+		inOcc:     make([]bool, n),
+		lastTouch: make([]int64, n),
+		oldCnt:    make([]int64, n),
 	}
 
 	if c.pointers != nil {
@@ -175,10 +235,10 @@ func NewSystem(g *graph.Graph, opts ...Option) (*System, error) {
 			if p < 0 || p >= g.Degree(v) {
 				return nil, fmt.Errorf("core: pointer %d invalid at node %d (degree %d)", p, v, g.Degree(v))
 			}
-			s.ptr[v] = int32(p)
+			s.st.Ptr[v] = int32(p)
 		}
 	}
-	copy(s.ptr0, s.ptr)
+	copy(s.ptr0, s.st.Ptr)
 
 	switch {
 	case c.positions != nil && c.counts != nil:
@@ -188,7 +248,7 @@ func NewSystem(g *graph.Graph, opts ...Option) (*System, error) {
 			if v < 0 || v >= n {
 				return nil, fmt.Errorf("core: agent position %d out of range [0,%d)", v, n)
 			}
-			s.agents[v]++
+			s.st.Agents[v]++
 			s.k++
 		}
 	case c.counts != nil:
@@ -199,27 +259,28 @@ func NewSystem(g *graph.Graph, opts ...Option) (*System, error) {
 			if cnt < 0 {
 				return nil, fmt.Errorf("core: negative agent count at node %d", v)
 			}
-			s.agents[v] = cnt
+			s.st.Agents[v] = cnt
 			s.k += cnt
 		}
 	}
 	if s.k == 0 {
 		return nil, errors.New("core: no agents placed")
 	}
-	copy(s.ag0, s.agents)
+	copy(s.ag0, s.st.Agents)
 
 	for v := 0; v < n; v++ {
-		s.coveredAt[v] = -1
-		if s.agents[v] > 0 {
+		s.st.CoveredAt[v] = -1
+		if s.st.Agents[v] > 0 {
 			s.occupied = append(s.occupied, v)
 			s.inOcc[v] = true
-			s.visits[v] = s.agents[v] // n_v(0)
-			s.coveredAt[v] = 0
-			s.covered++
+			s.st.Visits[v] = s.st.Agents[v] // n_v(0)
+			s.st.CoveredAt[v] = 0
+			s.st.Covered++
 		}
 	}
-	if s.covered == n {
-		s.coverRound = 0
+	s.occValid = true
+	if s.st.Covered == n {
+		s.st.CoverRound = 0
 	}
 
 	if c.flows {
@@ -231,7 +292,15 @@ func NewSystem(g *graph.Graph, opts ...Option) (*System, error) {
 		s.arcCount = make([]int64, g.NumArcs())
 	}
 
-	s.hash = s.fullHash()
+	// Flow and arc recording happen inside the generic move loop, so they
+	// exclude the specialized kernels.
+	if c.kmode != KernelGeneric && !c.flows && !c.arcs {
+		s.fast = kernel.Select(g, s.k, c.kmode == KernelFast)
+	}
+
+	if c.hash {
+		s.EnableConfigHash()
+	}
 	return s, nil
 }
 
@@ -242,59 +311,99 @@ func (s *System) Graph() *graph.Graph { return s.g }
 func (s *System) NumAgents() int64 { return s.k }
 
 // Round returns the number of completed rounds.
-func (s *System) Round() int64 { return s.round }
+func (s *System) Round() int64 { return s.st.Round }
 
 // AgentsAt returns the number of agents currently at v.
-func (s *System) AgentsAt(v int) int64 { return s.agents[v] }
+func (s *System) AgentsAt(v int) int64 { return s.st.Agents[v] }
 
 // Pointer returns the current port pointer of v.
-func (s *System) Pointer(v int) int { return int(s.ptr[v]) }
+func (s *System) Pointer(v int) int { return int(s.st.Ptr[v]) }
 
 // InitialPointer returns the pointer of v at construction time.
 func (s *System) InitialPointer(v int) int { return int(s.ptr0[v]) }
 
+// KernelName reports the stepping kernel fully-active rounds run on:
+// "ring" or "path" for the specialized tiers, "generic" otherwise.
+func (s *System) KernelName() string {
+	if s.fast == nil {
+		return "generic"
+	}
+	return s.fast.Name()
+}
+
 // Visits returns n_v(t): the initial agent count of v plus the number of
 // arrivals at v during rounds [1, t], matching the paper's counters.
-func (s *System) Visits(v int) int64 { return s.visits[v] }
+func (s *System) Visits(v int) int64 { return s.st.Visits[v] }
 
 // Exits returns e_v(t): the number of departures from v during [1, t].
-func (s *System) Exits(v int) int64 { return s.exits[v] }
+func (s *System) Exits(v int) int64 { return s.st.Exits[v] }
 
 // Covered returns how many nodes have been covered so far.
-func (s *System) Covered() int { return s.covered }
+func (s *System) Covered() int { return s.st.Covered }
 
 // CoveredAt returns the round at which v was first covered (0 for nodes
 // holding agents initially) and -1 if v is still uncovered.
-func (s *System) CoveredAt(v int) int64 { return s.coveredAt[v] }
+func (s *System) CoveredAt(v int) int64 { return s.st.CoveredAt[v] }
 
 // CoverRound returns the first round after which every node had been
 // visited, or -1 if the graph is not yet covered.
-func (s *System) CoverRound() int64 { return s.coverRound }
+func (s *System) CoverRound() int64 { return s.st.CoverRound }
 
 // FullyActiveRounds returns how many completed rounds moved every agent
 // (no holds) — the quantity τ in the slow-down lemma (Lemma 3).
-func (s *System) FullyActiveRounds() int64 { return s.fullyActiveRounds }
+func (s *System) FullyActiveRounds() int64 { return s.st.FullyActiveRounds }
 
 // Positions returns the sorted multiset of agent positions.
 func (s *System) Positions() []int {
 	out := make([]int, 0, s.k)
 	for v := 0; v < s.n; v++ {
-		for i := int64(0); i < s.agents[v]; i++ {
+		for i := int64(0); i < s.st.Agents[v]; i++ {
 			out = append(out, v)
 		}
 	}
 	return out
 }
 
+// ensureOccupied rebuilds the occupied list after specialized-kernel rounds
+// (which track only the flat count array).
+func (s *System) ensureOccupied() {
+	if s.occValid {
+		return
+	}
+	s.occupied = s.occupied[:0]
+	for v := 0; v < s.n; v++ {
+		occ := s.st.Agents[v] > 0
+		s.inOcc[v] = occ
+		if occ {
+			s.occupied = append(s.occupied, v)
+		}
+	}
+	s.occValid = true
+}
+
 // Occupied returns a copy of the list of nodes currently holding agents.
 func (s *System) Occupied() []int {
+	s.ensureOccupied()
 	return append([]int(nil), s.occupied...)
 }
 
 // LastVisited returns the nodes that received at least one arrival during
-// the last completed round. The slice is reused on the next Step; callers
-// must not retain it.
-func (s *System) LastVisited() []int { return s.lastVisited }
+// the last completed round, in no particular order. The slice is reused on
+// the next Step; callers must not retain it.
+func (s *System) LastVisited() []int {
+	if s.lastVisitedFast {
+		// Kernel rounds are fully active: every agent moved, so the
+		// arrival set of the round is exactly the occupied set after it.
+		s.st.LastVisited = s.st.LastVisited[:0]
+		for v, a := range s.st.Agents {
+			if a > 0 {
+				s.st.LastVisited = append(s.st.LastVisited, v)
+			}
+		}
+		s.lastVisitedFast = false
+	}
+	return s.st.LastVisited
+}
 
 // LastFlow returns how many agents traversed the arc leaving v through port
 // p during the last completed round. Requires WithFlowRecording.
@@ -309,12 +418,20 @@ func (s *System) ArcTraversals(v, p int) int64 {
 }
 
 // Step runs one synchronous round with every agent active.
-func (s *System) Step() { s.StepHeld(nil) }
+func (s *System) Step() {
+	if s.fast != nil {
+		s.fast.Step(&s.st)
+		s.occValid = false
+		s.lastVisitedFast = true
+		return
+	}
+	s.StepHeld(nil)
+}
 
 // Run executes the given number of rounds.
 func (s *System) Run(rounds int64) {
 	for i := int64(0); i < rounds; i++ {
-		s.StepHeld(nil)
+		s.Step()
 	}
 }
 
@@ -322,23 +439,23 @@ func (s *System) Run(rounds int64) {
 // cover time C (the first round t with all nodes covered). If maxRounds
 // elapse first it returns the rounds spent wrapped in ErrNotCovered.
 func (s *System) RunUntilCovered(maxRounds int64) (int64, error) {
-	for s.covered < s.n {
-		if s.round >= maxRounds {
-			return s.round, fmt.Errorf("%w after %d rounds (%d/%d nodes)",
-				ErrNotCovered, s.round, s.covered, s.n)
+	for s.st.Covered < s.n {
+		if s.st.Round >= maxRounds {
+			return s.st.Round, fmt.Errorf("%w after %d rounds (%d/%d nodes)",
+				ErrNotCovered, s.st.Round, s.st.Covered, s.n)
 		}
-		s.StepHeld(nil)
+		s.Step()
 	}
-	return s.coverRound, nil
+	return s.st.CoverRound, nil
 }
 
 // touchAgents records the pre-round agent count of v the first time v's
 // count changes in the current round, for end-of-round hash updates.
 func (s *System) touchAgents(v int) {
-	stamp := s.round + 1
+	stamp := s.st.Round + 1
 	if s.lastTouch[v] != stamp {
 		s.lastTouch[v] = stamp
-		s.oldCnt[v] = s.agents[v]
+		s.oldCnt[v] = s.st.Agents[v]
 		s.changed = append(s.changed, v)
 	}
 }
@@ -347,7 +464,12 @@ func (s *System) touchAgents(v int) {
 // at node v skip their move this round (clamped to the number present). A
 // nil held slice means every agent is active. Held agents do not advance
 // the pointer — exactly the paper's D(v,t) semantics.
+//
+// Held rounds always run on the generic engine; StepHeld(nil) on a system
+// with a specialized kernel is equivalent to Step but does not use it.
 func (s *System) StepHeld(held []int64) {
+	s.ensureOccupied()
+
 	// Zero last round's flow records lazily (touched arcs only).
 	if s.recordFlows {
 		for _, id := range s.flowsTouched {
@@ -356,14 +478,17 @@ func (s *System) StepHeld(held []int64) {
 		s.flowsTouched = s.flowsTouched[:0]
 	}
 
+	hashOn := s.st.HashOn
+
 	// Snapshot sources: moves are based on start-of-round positions.
 	s.srcNode = s.srcNode[:0]
 	s.srcCnt = s.srcCnt[:0]
 	s.changed = s.changed[:0]
-	s.lastVisited = s.lastVisited[:0]
+	s.st.LastVisited = s.st.LastVisited[:0]
+	s.lastVisitedFast = false
 	anyHeld := false
 	for _, v := range s.occupied {
-		c := s.agents[v]
+		c := s.st.Agents[v]
 		var h int64
 		if held != nil && held[v] > 0 {
 			h = held[v]
@@ -376,8 +501,10 @@ func (s *System) StepHeld(held []int64) {
 		}
 		s.srcNode = append(s.srcNode, v)
 		s.srcCnt = append(s.srcCnt, c-h)
-		s.touchAgents(v)
-		s.agents[v] = h // held agents stay; arrivals accumulate below
+		if hashOn {
+			s.touchAgents(v)
+		}
+		s.st.Agents[v] = h // held agents stay; arrivals accumulate below
 	}
 
 	// Candidates for the new occupied list: all old sources (which may
@@ -394,7 +521,7 @@ func (s *System) StepHeld(held []int64) {
 			continue
 		}
 		d := int64(s.g.Degree(v))
-		p := int64(s.ptr[v])
+		p := int64(s.st.Ptr[v])
 		// The m departing agents use ports p, p+1, ..., p+m-1 (mod d):
 		// port offset j carries ceil((m-j)/d) agents.
 		lim := d
@@ -405,22 +532,24 @@ func (s *System) StepHeld(held []int64) {
 			cnt := (m - j + d - 1) / d
 			port := int((p + j) % d)
 			dest := s.g.Neighbor(v, port)
-			s.touchAgents(dest)
-			if s.agents[dest] == 0 {
+			if hashOn {
+				s.touchAgents(dest)
+			}
+			if s.st.Agents[dest] == 0 {
 				s.cand = append(s.cand, dest)
 			}
-			s.agents[dest] += cnt
-			if s.visits[dest] == 0 {
-				s.coveredAt[dest] = s.round + 1
-				s.covered++
-				if s.covered == s.n {
-					s.coverRound = s.round + 1
+			s.st.Agents[dest] += cnt
+			if s.st.Visits[dest] == 0 {
+				s.st.CoveredAt[dest] = s.st.Round + 1
+				s.st.Covered++
+				if s.st.Covered == s.n {
+					s.st.CoverRound = s.st.Round + 1
 				}
 			}
-			s.visits[dest] += cnt
-			if s.visitStamp[dest] != s.round+1 {
-				s.visitStamp[dest] = s.round + 1
-				s.lastVisited = append(s.lastVisited, dest)
+			s.st.Visits[dest] += cnt
+			if s.st.VisitStamp[dest] != s.st.Round+1 {
+				s.st.VisitStamp[dest] = s.st.Round + 1
+				s.st.LastVisited = append(s.st.LastVisited, dest)
 			}
 			if s.recordFlows {
 				id := s.g.ArcID(v, port)
@@ -433,61 +562,66 @@ func (s *System) StepHeld(held []int64) {
 				s.arcCount[s.g.ArcID(v, port)] += cnt
 			}
 		}
-		s.exits[v] += m
+		s.st.Exits[v] += m
 		newPtr := int32((p + m) % d)
-		s.hash += hashPtr(v, newPtr) - hashPtr(v, s.ptr[v])
-		s.ptr[v] = newPtr
+		if hashOn {
+			s.st.Hash += kernel.HashPtr(v, newPtr) - kernel.HashPtr(v, s.st.Ptr[v])
+		}
+		s.st.Ptr[v] = newPtr
 	}
 
 	// Fold agent-count changes into the incremental hash.
-	for _, v := range s.changed {
-		s.hash += hashCnt(v, s.agents[v]) - hashCnt(v, s.oldCnt[v])
+	if hashOn {
+		for _, v := range s.changed {
+			s.st.Hash += kernel.HashCnt(v, s.st.Agents[v]) - kernel.HashCnt(v, s.oldCnt[v])
+		}
 	}
 
 	// Rebuild the occupied list from candidates.
 	s.occupied = s.occupied[:0]
 	for _, v := range s.cand {
-		if s.agents[v] > 0 && !s.inOcc[v] {
+		if s.st.Agents[v] > 0 && !s.inOcc[v] {
 			s.inOcc[v] = true
 			s.occupied = append(s.occupied, v)
 		}
 	}
 
-	s.round++
+	s.st.Round++
 	if !anyHeld {
-		s.fullyActiveRounds++
+		s.st.FullyActiveRounds++
 	}
-}
-
-// hashPtr is the hash contribution of pointer state (v, p).
-func hashPtr(v int, p int32) uint64 {
-	return xrand.Mix64(uint64(v)<<32 | uint64(uint32(p)) | 1<<63)
-}
-
-// hashCnt is the hash contribution of agent count state (v, c); zero counts
-// contribute nothing so that untouched nodes need no bookkeeping.
-func hashCnt(v int, c int64) uint64 {
-	if c == 0 {
-		return 0
-	}
-	return xrand.Mix64(uint64(v)*0x9e3779b97f4a7c15 + uint64(c))
 }
 
 // fullHash recomputes the configuration hash from scratch.
 func (s *System) fullHash() uint64 {
-	var h uint64
-	for v := 0; v < s.n; v++ {
-		h += hashPtr(v, s.ptr[v])
-		h += hashCnt(v, s.agents[v])
-	}
-	return h
+	return kernel.FullHash(s.st.Ptr, s.st.Agents)
 }
 
+// EnableConfigHash switches on incremental configuration hashing (one full
+// O(n) hash now, two mixes per moved node per subsequent round). It is a
+// no-op when hashing is already on. Cycle detection calls it before taking
+// snapshots so every clone inherits the enabled hash.
+func (s *System) EnableConfigHash() {
+	if s.st.HashOn {
+		return
+	}
+	s.st.HashOn = true
+	s.st.Hash = s.fullHash()
+}
+
+// HashEnabled reports whether incremental configuration hashing is on.
+func (s *System) HashEnabled() bool { return s.st.HashOn }
+
 // ConfigHash returns the incrementally maintained hash of the current
-// configuration (pointers and agent positions; visit counters excluded).
-// Equal configurations have equal hashes; unequal ones collide with
-// probability about 2^-64, so cycle detection confirms with StateEqual.
-func (s *System) ConfigHash() uint64 { return s.hash }
+// configuration (pointers and agent positions; visit counters excluded),
+// enabling hash maintenance on first use (WithConfigHash enables it from
+// round zero instead). Equal configurations have equal hashes; unequal
+// ones collide with probability about 2^-64, so cycle detection confirms
+// with StateEqual.
+func (s *System) ConfigHash() uint64 {
+	s.EnableConfigHash()
+	return s.st.Hash
+}
 
 // StateEqual reports whether the configurations (pointers and agent
 // multisets) of s and o are identical. Both systems must share a topology.
@@ -496,38 +630,34 @@ func (s *System) StateEqual(o *System) bool {
 		return false
 	}
 	for v := 0; v < s.n; v++ {
-		if s.ptr[v] != o.ptr[v] || s.agents[v] != o.agents[v] {
+		if s.st.Ptr[v] != o.st.Ptr[v] || s.st.Agents[v] != o.st.Agents[v] {
 			return false
 		}
 	}
 	return true
 }
 
-// Clone returns a deep copy of the system sharing only the immutable graph.
+// Clone returns a deep copy of the system sharing only the immutable graph
+// and the (stateless) stepping kernel.
 func (s *System) Clone() *System {
 	c := &System{
-		g:                 s.g,
-		n:                 s.n,
-		k:                 s.k,
-		ptr:               append([]int32(nil), s.ptr...),
-		ptr0:              append([]int32(nil), s.ptr0...),
-		agents:            append([]int64(nil), s.agents...),
-		ag0:               append([]int64(nil), s.ag0...),
-		occupied:          append([]int(nil), s.occupied...),
-		inOcc:             append([]bool(nil), s.inOcc...),
-		visits:            append([]int64(nil), s.visits...),
-		exits:             append([]int64(nil), s.exits...),
-		coveredAt:         append([]int64(nil), s.coveredAt...),
-		covered:           s.covered,
-		coverRound:        s.coverRound,
-		round:             s.round,
-		fullyActiveRounds: s.fullyActiveRounds,
-		hash:              s.hash,
-		lastTouch:         make([]int64, s.n),
-		oldCnt:            make([]int64, s.n),
-		visitStamp:        make([]int64, s.n),
-		recordFlows:       s.recordFlows,
-		recordArcs:        s.recordArcs,
+		g:               s.g,
+		n:               s.n,
+		k:               s.k,
+		st:              s.st.Clone(),
+		fast:            s.fast,
+		kmode:           s.kmode,
+		ptr0:            append([]int32(nil), s.ptr0...),
+		ag0:             append([]int64(nil), s.ag0...),
+		occupied:        append([]int(nil), s.occupied...),
+		inOcc:           append([]bool(nil), s.inOcc...),
+		occValid:        s.occValid,
+		lastVisitedFast: s.lastVisitedFast,
+		lastTouch:       make([]int64, s.n),
+		oldCnt:          make([]int64, s.n),
+
+		recordFlows: s.recordFlows,
+		recordArcs:  s.recordArcs,
 	}
 	if s.recordFlows {
 		c.flows = append([]int64(nil), s.flows...)
@@ -542,33 +672,35 @@ func (s *System) Clone() *System {
 // Reset restores the initial configuration (agents, pointers) and clears all
 // counters, allowing a fresh run on the same topology without reallocation.
 func (s *System) Reset() {
-	copy(s.ptr, s.ptr0)
-	copy(s.agents, s.ag0)
+	copy(s.st.Ptr, s.ptr0)
+	copy(s.st.Agents, s.ag0)
 	s.occupied = s.occupied[:0]
-	s.covered = 0
-	s.coverRound = -1
-	s.round = 0
-	s.fullyActiveRounds = 0
+	s.st.Covered = 0
+	s.st.CoverRound = -1
+	s.st.Round = 0
+	s.st.FullyActiveRounds = 0
 	for v := 0; v < s.n; v++ {
 		s.inOcc[v] = false
-		s.exits[v] = 0
-		s.visits[v] = 0
-		s.coveredAt[v] = -1
+		s.st.Exits[v] = 0
+		s.st.Visits[v] = 0
+		s.st.CoveredAt[v] = -1
 		s.lastTouch[v] = 0
-		s.visitStamp[v] = 0
+		s.st.VisitStamp[v] = 0
 	}
-	s.lastVisited = s.lastVisited[:0]
+	s.st.LastVisited = s.st.LastVisited[:0]
+	s.lastVisitedFast = false
 	for v := 0; v < s.n; v++ {
-		if s.agents[v] > 0 {
+		if s.st.Agents[v] > 0 {
 			s.occupied = append(s.occupied, v)
 			s.inOcc[v] = true
-			s.visits[v] = s.agents[v]
-			s.coveredAt[v] = 0
-			s.covered++
+			s.st.Visits[v] = s.st.Agents[v]
+			s.st.CoveredAt[v] = 0
+			s.st.Covered++
 		}
 	}
-	if s.covered == s.n {
-		s.coverRound = 0
+	s.occValid = true
+	if s.st.Covered == s.n {
+		s.st.CoverRound = 0
 	}
 	if s.recordFlows {
 		for i := range s.flows {
@@ -581,5 +713,7 @@ func (s *System) Reset() {
 			s.arcCount[i] = 0
 		}
 	}
-	s.hash = s.fullHash()
+	if s.st.HashOn {
+		s.st.Hash = s.fullHash()
+	}
 }

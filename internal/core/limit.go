@@ -37,6 +37,10 @@ type LimitCycle struct {
 // stabilization round μ is computed with a second pass over a pristine
 // copy of the initial configuration (costing about 2μ extra steps).
 func FindLimitCycle(s *System, maxRounds int64, computeMu bool) (*LimitCycle, error) {
+	// Cycle detection needs the configuration hash every round; switch it
+	// on before snapshotting so every clone inherits it (tier 2: systems
+	// that never detect cycles never pay for hashing).
+	s.EnableConfigHash()
 	var initial *System
 	if computeMu {
 		initial = s.Clone()
@@ -46,24 +50,24 @@ func FindLimitCycle(s *System, maxRounds int64, computeMu bool) (*LimitCycle, er
 	power := int64(1)
 	lam := int64(0)
 	tortoise := s.Clone()
-	start := s.round
+	start := s.st.Round
 	for {
 		if lam == power {
 			tortoise = s.Clone()
 			power *= 2
 			lam = 0
 		}
-		if s.round-start >= maxRounds {
-			return nil, fmt.Errorf("%w (ran %d rounds)", ErrNoCycle, s.round-start)
+		if s.st.Round-start >= maxRounds {
+			return nil, fmt.Errorf("%w (ran %d rounds)", ErrNoCycle, s.st.Round-start)
 		}
 		s.Step()
 		lam++
-		if s.hash == tortoise.hash && s.StateEqual(tortoise) {
+		if s.st.Hash == tortoise.st.Hash && s.StateEqual(tortoise) {
 			break
 		}
 	}
 
-	lc := &LimitCycle{Period: lam, StabilizationRound: -1, DetectedAt: s.round}
+	lc := &LimitCycle{Period: lam, StabilizationRound: -1, DetectedAt: s.st.Round}
 	if computeMu {
 		mu, err := findMu(initial, lam, maxRounds)
 		if err != nil {
@@ -80,7 +84,7 @@ func findMu(initial *System, period, maxRounds int64) (int64, error) {
 	lead := initial.Clone()
 	lead.Run(period)
 	mu := int64(0)
-	for !(initial.hash == lead.hash && initial.StateEqual(lead)) {
+	for !(initial.st.Hash == lead.st.Hash && initial.StateEqual(lead)) {
 		if mu > maxRounds {
 			return 0, fmt.Errorf("%w (μ search exceeded %d rounds)", ErrNoCycle, maxRounds)
 		}

@@ -11,10 +11,16 @@ import (
 )
 
 // benchJSON, when set, makes TestEmitBenchJSON measure the sequential
-// baseline against the engine at several worker counts and write the
-// trajectory to the given path (BENCH_engine.json at the repo root via
-// `make bench-json`).
+// baseline against the engine at several worker counts — plus the
+// per-kernel step throughputs — and write the trajectory to the given path
+// (BENCH_engine.json at the repo root via `make bench-json`).
 var benchJSON = flag.String("bench-json", "", "write engine benchmark results to this JSON file")
+
+// benchBaseline, when set, makes TestPrintBenchBaseline print the kernel
+// entries of the given BENCH_engine.json as benchstat-compatible lines
+// (`make bench-baseline`), so a PR can diff its `make bench-kernels` output
+// against the committed trajectory with plain benchstat.
+var benchBaseline = flag.String("bench-baseline", "", "print the kernel entries of this BENCH_engine.json in go-bench format")
 
 // benchSpec is the fixed workload benchmarks and the JSON trajectory share:
 // a rotor cover-time grid whose cells are heavy enough (~(n/k)^2 rounds)
@@ -30,6 +36,9 @@ func benchSpec() SweepSpec {
 		Seed:       7,
 	}
 }
+
+// benchWorkerCounts is the worker-pool ladder of the sweep trajectory.
+var benchWorkerCounts = []int{1, 2, 4, 8}
 
 // runSequential is the pre-engine code path: every cell measured one after
 // another on a single goroutine, no pool, no sinks. It is the baseline the
@@ -68,7 +77,7 @@ func BenchmarkSequentialSweep(b *testing.B) {
 // exceeds the cores.
 func BenchmarkEngineSweep(b *testing.B) {
 	spec := benchSpec()
-	for _, workers := range []int{1, 2, 4, 8} {
+	for _, workers := range benchWorkerCounts {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			e := New(Workers(workers))
 			for i := 0; i < b.N; i++ {
@@ -80,7 +89,7 @@ func BenchmarkEngineSweep(b *testing.B) {
 	}
 }
 
-// benchResult is one measured point of the trajectory file.
+// benchResult is one measured point of the sweep trajectory.
 type benchResult struct {
 	Workers    int     `json:"workers"`
 	Seconds    float64 `json:"seconds"`
@@ -89,17 +98,99 @@ type benchResult struct {
 	Speedup float64 `json:"speedup"`
 }
 
+// kernelResult is one measured kernel-tier throughput (see
+// KernelBenchCases).
+type kernelResult struct {
+	Name   string `json:"name"`
+	Graph  string `json:"graph"`
+	K      int64  `json:"k"`
+	Rounds int64  `json:"rounds"`
+	// Seconds is the best-of-reps wall time for Rounds rounds.
+	Seconds      float64 `json:"seconds"`
+	RoundsPerSec float64 `json:"roundsPerSec"`
+	// StepsPerSec is agent-steps per second: RoundsPerSec × K.
+	StepsPerSec float64 `json:"stepsPerSec"`
+	// Speedup is relative to the case's generic-tier baseline (1.0 for the
+	// baselines themselves).
+	Speedup float64 `json:"speedup,omitempty"`
+}
+
 // benchFile is the schema of BENCH_engine.json.
 type benchFile struct {
-	Benchmark   string        `json:"benchmark"`
-	GOOS        string        `json:"goos"`
-	GOARCH      string        `json:"goarch"`
-	CPUs        int           `json:"cpus"`
-	GoVersion   string        `json:"goVersion"`
-	Jobs        int           `json:"jobs"`
-	SeqSeconds  float64       `json:"sequentialSeconds"`
-	Results     []benchResult `json:"results"`
-	GeneratedAt string        `json:"generatedAt"`
+	Benchmark string `json:"benchmark"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	// CPUs is the machine's logical core count (runtime.NumCPU);
+	// GoMaxProcs is how many of them the Go scheduler was allowed to use
+	// when the file was generated. Speedup trajectories are only
+	// meaningful when GoMaxProcs covers the worker counts measured.
+	CPUs        int            `json:"cpus"`
+	GoMaxProcs  int            `json:"gomaxprocs"`
+	GoVersion   string         `json:"goVersion"`
+	Jobs        int            `json:"jobs"`
+	SeqSeconds  float64        `json:"sequentialSeconds"`
+	Results     []benchResult  `json:"results"`
+	Kernels     []kernelResult `json:"kernels"`
+	GeneratedAt string         `json:"generatedAt"`
+}
+
+// timeIt returns the best-of-reps wall time of fn.
+func timeIt(t *testing.T, reps int, fn func() error) float64 {
+	t.Helper()
+	best := 0.0
+	for i := 0; i < reps; i++ {
+		start := time.Now()
+		if err := fn(); err != nil {
+			t.Fatal(err)
+		}
+		if sec := time.Since(start).Seconds(); i == 0 || sec < best {
+			best = sec
+		}
+	}
+	return best
+}
+
+// measureKernels times every kernel workload over a fixed round count,
+// best of three fresh builds (construction excluded from the clock).
+func measureKernels(t *testing.T) []kernelResult {
+	t.Helper()
+	const rounds = 192
+	out := make([]kernelResult, 0, 4)
+	baseline := make(map[string]float64) // name -> rounds/sec
+	for _, kc := range KernelBenchCases() {
+		// Best of three fresh builds; construction stays off the clock.
+		var sec float64
+		for rep := 0; rep < 3; rep++ {
+			step, err := kc.NewStepper()
+			if err != nil {
+				t.Fatal(err)
+			}
+			start := time.Now()
+			for i := 0; i < rounds; i++ {
+				step()
+			}
+			if elapsed := time.Since(start).Seconds(); rep == 0 || elapsed < sec {
+				sec = elapsed
+			}
+		}
+		kr := kernelResult{
+			Name:         kc.Name,
+			Graph:        kc.Graph,
+			K:            kc.K,
+			Rounds:       rounds,
+			Seconds:      sec,
+			RoundsPerSec: rounds / sec,
+		}
+		kr.StepsPerSec = kr.RoundsPerSec * float64(kc.K)
+		if kc.Baseline == "" {
+			kr.Speedup = 1
+			baseline[kc.Name] = kr.RoundsPerSec
+		} else {
+			kr.Speedup = kr.RoundsPerSec / baseline[kc.Baseline]
+		}
+		out = append(out, kr)
+	}
+	return out
 }
 
 // TestEmitBenchJSON records the perf trajectory. It is a no-op unless
@@ -114,25 +205,20 @@ func TestEmitBenchJSON(t *testing.T) {
 		t.Fatal(err)
 	}
 
+	maxWorkers := benchWorkerCounts[len(benchWorkerCounts)-1]
+	if procs := runtime.GOMAXPROCS(0); procs < maxWorkers {
+		// The worker ladder cannot scale past the scheduler's processor
+		// cap; the committed trajectory should say so loudly.
+		fmt.Fprintf(os.Stderr,
+			"WARNING: GOMAXPROCS=%d < %d workers; speedups above %dx are unreachable on this run "+
+				"(set GOMAXPROCS, as the CI bench job does)\n",
+			procs, maxWorkers, procs)
+	}
+
 	// Warm up once so first-run effects (page faults, frequency ramp)
 	// don't land on the baseline.
 	if _, err := runSequential(spec); err != nil {
 		t.Fatal(err)
-	}
-
-	timeIt := func(fn func() error) float64 {
-		const reps = 3
-		best := 0.0
-		for i := 0; i < reps; i++ {
-			start := time.Now()
-			if err := fn(); err != nil {
-				t.Fatal(err)
-			}
-			if sec := time.Since(start).Seconds(); i == 0 || sec < best {
-				best = sec
-			}
-		}
-		return best
 	}
 
 	out := benchFile{
@@ -140,17 +226,18 @@ func TestEmitBenchJSON(t *testing.T) {
 		GOOS:        runtime.GOOS,
 		GOARCH:      runtime.GOARCH,
 		CPUs:        runtime.NumCPU(),
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
 		GoVersion:   runtime.Version(),
 		Jobs:        len(cells) * spec.Replicas,
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
 	}
-	out.SeqSeconds = timeIt(func() error {
+	out.SeqSeconds = timeIt(t, 3, func() error {
 		_, err := runSequential(spec)
 		return err
 	})
-	for _, workers := range []int{1, 2, 4, 8} {
+	for _, workers := range benchWorkerCounts {
 		e := New(Workers(workers))
-		sec := timeIt(func() error {
+		sec := timeIt(t, 3, func() error {
 			_, err := e.Run(spec)
 			return err
 		})
@@ -161,6 +248,7 @@ func TestEmitBenchJSON(t *testing.T) {
 			Speedup:    out.SeqSeconds / sec,
 		})
 	}
+	out.Kernels = measureKernels(t)
 
 	f, err := os.Create(*benchJSON)
 	if err != nil {
@@ -174,8 +262,48 @@ func TestEmitBenchJSON(t *testing.T) {
 	if err := f.Close(); err != nil {
 		t.Fatal(err)
 	}
-	t.Logf("wrote %s: sequential %.3fs, %d jobs, cpus=%d", *benchJSON, out.SeqSeconds, out.Jobs, out.CPUs)
+	t.Logf("wrote %s: sequential %.3fs, %d jobs, cpus=%d gomaxprocs=%d",
+		*benchJSON, out.SeqSeconds, out.Jobs, out.CPUs, out.GoMaxProcs)
 	for _, r := range out.Results {
 		t.Logf("  workers=%d  %.3fs  %.1f jobs/s  speedup %.2fx", r.Workers, r.Seconds, r.JobsPerSec, r.Speedup)
+	}
+	for _, kr := range out.Kernels {
+		t.Logf("  kernel %-13s %s k=%-6d  %.3e steps/s  speedup %.2fx",
+			kr.Name, kr.Graph, kr.K, kr.StepsPerSec, kr.Speedup)
+	}
+}
+
+// TestPrintBenchBaseline converts the committed BENCH_engine.json kernel
+// entries into go-bench formatted lines on stdout, so
+// `benchstat <(make -s bench-baseline) new.txt` compares a PR's
+// `make bench-kernels` run against the committed trajectory. A no-op
+// unless -bench-baseline is set.
+func TestPrintBenchBaseline(t *testing.T) {
+	if *benchBaseline == "" {
+		t.Skip("enable with -bench-baseline <path>")
+	}
+	data, err := os.ReadFile(*benchBaseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f benchFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Kernels) == 0 {
+		t.Fatalf("%s has no kernel entries; regenerate with make bench-json", *benchBaseline)
+	}
+	// Mirror the testing package's name suffix (-GOMAXPROCS unless 1) for
+	// the environment the comparison run will use — the current one, not
+	// whatever generated the JSON — so benchstat matches the names that a
+	// `make bench-kernels` in the same shell produces.
+	suffix := ""
+	if procs := runtime.GOMAXPROCS(0); procs > 1 {
+		suffix = fmt.Sprintf("-%d", procs)
+	}
+	for _, kr := range f.Kernels {
+		nsPerRound := kr.Seconds / float64(kr.Rounds) * 1e9
+		fmt.Fprintf(os.Stdout, "BenchmarkKernel/%s%s \t%8d\t%12.0f ns/op\t%14.0f steps/sec\n",
+			kr.Name, suffix, kr.Rounds, nsPerRound, kr.StepsPerSec)
 	}
 }

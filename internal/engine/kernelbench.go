@@ -1,0 +1,102 @@
+package engine
+
+import (
+	"fmt"
+
+	"rotorring/internal/core"
+	"rotorring/internal/graph"
+	"rotorring/internal/randwalk"
+	"rotorring/internal/xrand"
+)
+
+// This file defines the fixed per-kernel throughput workloads shared by the
+// root package's BenchmarkKernel benchmarks and the BENCH_engine.json
+// trajectory (TestEmitBenchJSON): one rotor pair (generic engine versus the
+// ring kernel) on the acceptance configuration Ring(2^16), and one walk
+// pair (per-agent versus counts-based) at k = 10·n. Keeping the workload in
+// one place means `make bench-kernels` and the committed JSON always
+// measure the same thing.
+
+// KernelBenchCase is one fixed kernel-tier throughput workload.
+type KernelBenchCase struct {
+	// Name identifies the case ("rotor-generic", "rotor-ring",
+	// "walk-agents", "walk-counts") and doubles as the sub-benchmark name.
+	Name string
+	// Process is "rotor" or "walk".
+	Process string
+	// Graph names the topology, K the agent/walker count.
+	Graph string
+	K     int64
+	// Baseline names the generic-tier counterpart this case's speedup is
+	// stated against; empty for the baselines themselves.
+	Baseline string
+	// NewStepper builds a fresh simulator, runs a short warmup so the
+	// measurement starts in the steady state (spread-out occupancy, warm
+	// caches), and returns a function advancing one synchronous round.
+	NewStepper func() (func(), error)
+}
+
+// kernelBenchWarmup is the number of pre-measurement rounds NewStepper
+// runs: enough for an initial placement to spread into its steady-state
+// occupancy profile.
+const kernelBenchWarmup = 256
+
+// Kernel benchmark scales: the rotor pair runs the ISSUE's acceptance
+// configuration (ring of 2^16 nodes, dense population), the walk pair the
+// k = 10·n regime where counts-based stepping matters.
+const (
+	kernelBenchRotorN = 1 << 16
+	kernelBenchRotorK = kernelBenchRotorN / 2
+	kernelBenchWalkN  = 1 << 13
+	kernelBenchWalkK  = 10 * kernelBenchWalkN
+)
+
+// KernelBenchCases returns the fixed workload set, baselines first.
+func KernelBenchCases() []KernelBenchCase {
+	rotor := func(mode core.KernelMode) func() (func(), error) {
+		return func() (func(), error) {
+			g := graph.Ring(kernelBenchRotorN)
+			// Random placement and pointers give irregular occupancy — the
+			// steady-state shape of dense simulations — rather than the
+			// lock-step march of an equally-spaced all-clockwise start.
+			rng := xrand.New(1)
+			sys, err := core.NewSystem(g,
+				core.WithAgentsAt(core.RandomPositions(kernelBenchRotorN, kernelBenchRotorK, rng)...),
+				core.WithPointers(core.PointersRandom(g, rng)),
+				core.WithKernelMode(mode))
+			if err != nil {
+				return nil, err
+			}
+			if mode == core.KernelFast && sys.KernelName() != "ring" {
+				return nil, fmt.Errorf("engine: ring kernel not selected (%s)", sys.KernelName())
+			}
+			sys.Run(kernelBenchWarmup)
+			return sys.Step, nil
+		}
+	}
+	walk := func(mode randwalk.Mode) func() (func(), error) {
+		return func() (func(), error) {
+			g := graph.Ring(kernelBenchWalkN)
+			w, err := randwalk.New(g,
+				core.EquallySpaced(kernelBenchWalkN, kernelBenchWalkK),
+				xrand.New(1), randwalk.WithMode(mode))
+			if err != nil {
+				return nil, err
+			}
+			w.Run(kernelBenchWarmup)
+			return w.Step, nil
+		}
+	}
+	ringName := fmt.Sprintf("ring(%d)", kernelBenchRotorN)
+	walkRing := fmt.Sprintf("ring(%d)", kernelBenchWalkN)
+	return []KernelBenchCase{
+		{Name: "rotor-generic", Process: "rotor", Graph: ringName, K: kernelBenchRotorK,
+			NewStepper: rotor(core.KernelGeneric)},
+		{Name: "rotor-ring", Process: "rotor", Graph: ringName, K: kernelBenchRotorK,
+			Baseline: "rotor-generic", NewStepper: rotor(core.KernelFast)},
+		{Name: "walk-agents", Process: "walk", Graph: walkRing, K: kernelBenchWalkK,
+			NewStepper: walk(randwalk.ModeAgents)},
+		{Name: "walk-counts", Process: "walk", Graph: walkRing, K: kernelBenchWalkK,
+			Baseline: "walk-agents", NewStepper: walk(randwalk.ModeCounts)},
+	}
+}

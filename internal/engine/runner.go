@@ -16,20 +16,48 @@ type graphKey struct {
 }
 
 // worker holds the per-goroutine reusable state: a topology cache and the
-// prototype System of the last deterministic cell it ran, which subsequent
-// replicas of the same cell reuse via Reset (or run on a Clone when the
-// measurement must not disturb it). Workers never share mutable state, so
-// the hot StepHeld loop runs without locks, and the System's internal
-// scratch buffers keep it allocation-free across rounds.
+// prototype System (or Walk) of the last deterministic cell it ran, which
+// subsequent replicas of the same cell reuse via Reset — plus Reseed for
+// walks — instead of reallocating per trial (or run on a Clone when the
+// measurement must not disturb the prototype). Workers never share mutable
+// state, so the hot step loops run without locks, and the simulators'
+// internal scratch buffers keep them allocation-free across rounds.
 type worker struct {
 	graphs map[graphKey]*graph.Graph
 
 	protoCell int // cell index the cached prototype was built for
 	proto     *core.System
+
+	protoWalkCell int // cell index the cached walk was built for
+	protoWalk     *randwalk.Walk
 }
 
 func newWorker() *worker {
-	return &worker{graphs: make(map[graphKey]*graph.Graph), protoCell: -1}
+	return &worker{graphs: make(map[graphKey]*graph.Graph), protoCell: -1, protoWalkCell: -1}
+}
+
+// kernelMode maps the sweep-level kernel selection to the rotor engine's.
+func kernelMode(k Kernel) core.KernelMode {
+	switch k {
+	case KernelGeneric:
+		return core.KernelGeneric
+	case KernelFast:
+		return core.KernelFast
+	default:
+		return core.KernelAuto
+	}
+}
+
+// walkMode maps the sweep-level kernel selection to the walk engine's.
+func walkMode(k Kernel) randwalk.Mode {
+	switch k {
+	case KernelGeneric:
+		return randwalk.ModeAgents
+	case KernelFast:
+		return randwalk.ModeCounts
+	default:
+		return randwalk.ModeAuto
+	}
 }
 
 // graph returns the cached topology for a cell, constructing it on first
@@ -113,7 +141,7 @@ func (w *worker) runJob(spec *SweepSpec, c Cell, replica int) Row {
 	}
 
 	if spec.Process == ProcWalk {
-		w.measureWalk(spec, g, positions, rng, &row)
+		w.measureWalk(spec, g, c, positions, deterministic, seed, rng, &row)
 		return row
 	}
 
@@ -129,7 +157,8 @@ func (w *worker) runJob(spec *SweepSpec, c Cell, replica int) Row {
 		}
 		sys, err = core.NewSystem(g,
 			core.WithAgentsAt(positions...),
-			core.WithPointers(pointers))
+			core.WithPointers(pointers),
+			core.WithKernelMode(kernelMode(spec.Kernel)))
 		if err != nil {
 			row.Err = err.Error()
 			return row
@@ -210,12 +239,29 @@ func measureRotor(spec *SweepSpec, sys *core.System, preserve bool, row *Row) {
 
 // measureWalk runs one random-walk job: a cover-time trial for MetricCover,
 // or the mean inter-visit gap over a long window for MetricReturn (the
-// walk analogue of return time; expectation n/k on the ring).
-func (w *worker) measureWalk(spec *SweepSpec, g *graph.Graph, positions []int, rng *xrand.Rand, row *Row) {
-	walk, err := randwalk.New(g, positions, rng)
-	if err != nil {
-		row.Err = err.Error()
-		return
+// walk analogue of return time; expectation n/k on the ring). Deterministic
+// cells reuse one cached Walk across the worker's replicas via Reseed and
+// Reset, so replica-heavy expectation sweeps allocate one walk per cell.
+func (w *worker) measureWalk(spec *SweepSpec, g *graph.Graph, c Cell, positions []int, deterministic bool, seed uint64, rng *xrand.Rand, row *Row) {
+	var walk *randwalk.Walk
+	if deterministic && w.protoWalkCell == c.Index && w.protoWalk != nil {
+		walk = w.protoWalk
+		walk.Reseed(seed)
+		walk.Reset()
+	} else {
+		var err error
+		walk, err = randwalk.New(g, positions, rng, randwalk.WithMode(walkMode(spec.Kernel)))
+		if err != nil {
+			row.Err = err.Error()
+			return
+		}
+		if deterministic {
+			w.protoWalkCell = c.Index
+			w.protoWalk = walk
+		} else {
+			w.protoWalkCell = -1
+			w.protoWalk = nil
+		}
 	}
 	switch spec.Metric {
 	case MetricCover:

@@ -107,6 +107,51 @@ func (p Pointer) String() string {
 	}
 }
 
+// Kernel selects the stepping tier jobs run on (see internal/kernel).
+// Rotor jobs are bit-identical across tiers. Walk jobs are exactly the
+// same process under either engine, but the engines consume the seed's
+// random stream differently, so a walk job's sampled trajectory — not its
+// distribution — changes with the tier. The knob deliberately does not
+// enter job-seed derivation.
+type Kernel int
+
+// Kernel tiers. The zero value is the default (automatic selection).
+const (
+	// KernelAuto lets each job pick: specialized rotor kernels and
+	// counts-based walks where dense enough, generic engines otherwise.
+	KernelAuto Kernel = iota
+	// KernelGeneric forces the generic rotor engine and per-agent walks.
+	KernelGeneric
+	// KernelFast forces the specialized rotor kernel (where the topology
+	// has one) and counts-based walks.
+	KernelFast
+)
+
+// ParseKernel converts a flag string (auto|generic|fast).
+func ParseKernel(s string) (Kernel, error) {
+	switch strings.ToLower(s) {
+	case "", "auto":
+		return KernelAuto, nil
+	case "generic":
+		return KernelGeneric, nil
+	case "fast":
+		return KernelFast, nil
+	default:
+		return 0, fmt.Errorf("engine: unknown kernel %q (auto|generic|fast)", s)
+	}
+}
+
+func (k Kernel) String() string {
+	switch k {
+	case KernelGeneric:
+		return "generic"
+	case KernelFast:
+		return "fast"
+	default:
+		return "auto"
+	}
+}
+
 // Process selects which of the paper's two processes a sweep runs.
 type Process int
 
@@ -218,6 +263,10 @@ type SweepSpec struct {
 	// MaxRounds bounds each run; 0 selects an automatic budget well above
 	// the paper's worst-case Theta(n^2).
 	MaxRounds int64 `json:"maxRounds,omitempty"`
+	// Kernel selects the stepping tier; default KernelAuto. Rotor results
+	// are bit-identical across tiers; walk trials are resampled (see
+	// Kernel). Seeds never depend on it.
+	Kernel Kernel `json:"kernel,omitempty"`
 }
 
 // withDefaults returns a copy with defaults filled in and the grid
@@ -277,6 +326,9 @@ func (s SweepSpec) withDefaults() (SweepSpec, error) {
 	}
 	if s.Metric != MetricCover && s.Metric != MetricReturn {
 		return s, fmt.Errorf("engine: invalid metric %d", int(s.Metric))
+	}
+	if s.Kernel < KernelAuto || s.Kernel > KernelFast {
+		return s, fmt.Errorf("engine: invalid kernel %d", int(s.Kernel))
 	}
 	// Validate the topology by name only — constructing a graph here just
 	// to throw it away would build huge topologies before any worker

@@ -3,6 +3,17 @@
 // independent simple random walks in synchronous rounds, with no
 // coordination (§1, §3.3).
 //
+// Stepping is tiered like the rotor-router's (see internal/kernel). The
+// per-agent engine moves every walker individually: O(k) generator draws
+// per round. The counts-based engine (tier 3) stores walkers as per-node
+// counts and scatters each occupied node's population over its ports with
+// one multinomial draw — Bin(c, 1/2) clockwise movers on the ring — making
+// a round O(occupied nodes) instead of O(k), the difference that matters
+// in the paper's k ≫ n regimes. Both engines simulate exactly the same
+// process; they consume randomness differently, so equal seeds give
+// different (equally distributed) trajectories. The distribution tests in
+// this package validate the two against each other.
+//
 // The rotor-router results are deterministic while the random-walk results
 // are statements about expectations, so this package also provides
 // repeated-trial estimators (CoverTimes) running independent walks under
@@ -16,18 +27,60 @@ import (
 	"sync"
 
 	"rotorring/internal/graph"
+	"rotorring/internal/kernel"
 	"rotorring/internal/xrand"
 )
 
 // ErrNotCovered is returned when a cover-time budget is exhausted.
 var ErrNotCovered = errors.New("randwalk: cover-time budget exhausted")
 
+// Mode selects the stepping engine of a Walk.
+type Mode int
+
+// Modes.
+const (
+	// ModeAuto picks counts-based stepping when k ≥ CountsFactor·n and
+	// per-agent stepping otherwise. This is the default.
+	ModeAuto Mode = iota
+	// ModeAgents forces the per-agent engine.
+	ModeAgents
+	// ModeCounts forces the counts-based engine.
+	ModeCounts
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeAgents:
+		return "agents"
+	case ModeCounts:
+		return "counts"
+	default:
+		return "auto"
+	}
+}
+
+// CountsFactor is the density threshold of ModeAuto: counts-based rounds
+// scan all n nodes, so they only pay off once there are at least a couple
+// of walkers per node on average.
+const CountsFactor = 2
+
 // Walk is a system of k independent synchronous random walkers.
 type Walk struct {
 	g   *graph.Graph
 	rng *xrand.Rand
 
-	pos     []int // position of each walker
+	counts bool // counts-based stepping (tier 3)
+	ring   bool // canonical ring: direct ±1 addressing, Bin(c, 1/2) split
+
+	pos   []int   // per-agent engine: position of each walker
+	cnt   []int64 // counts engine: walkers per node
+	next  []int64 // counts engine: next-round double buffer
+	split []int64 // counts engine, ring: per-node clockwise movers
+	port  []int64 // counts engine: multinomial scratch (general graphs)
+
+	pos0 []int // initial positions, for Reset
+
+	k       int64
 	visited []bool
 	covered int
 	round   int64
@@ -35,35 +88,94 @@ type Walk struct {
 	visits []int64 // arrival counts per node, plus initial placements
 }
 
+// Option configures a Walk at construction time.
+type Option func(*walkConfig)
+
+type walkConfig struct {
+	mode Mode
+}
+
+// WithMode selects the stepping engine; the default is ModeAuto.
+func WithMode(m Mode) Option {
+	return func(c *walkConfig) { c.mode = m }
+}
+
 // New creates a walk system with the given starting positions. The rng is
 // owned by the walk afterwards.
-func New(g *graph.Graph, positions []int, rng *xrand.Rand) (*Walk, error) {
+func New(g *graph.Graph, positions []int, rng *xrand.Rand, opts ...Option) (*Walk, error) {
 	if len(positions) == 0 {
 		return nil, errors.New("randwalk: no walkers placed")
+	}
+	var cfg walkConfig
+	for _, o := range opts {
+		o(&cfg)
 	}
 	n := g.NumNodes()
 	w := &Walk{
 		g:       g,
 		rng:     rng,
-		pos:     append([]int(nil), positions...),
+		pos0:    append([]int(nil), positions...),
+		k:       int64(len(positions)),
 		visited: make([]bool, n),
 		visits:  make([]int64, n),
 	}
-	for _, v := range w.pos {
+	for _, v := range positions {
 		if v < 0 || v >= n {
 			return nil, fmt.Errorf("randwalk: position %d out of range [0,%d)", v, n)
 		}
+	}
+	w.counts = cfg.mode == ModeCounts ||
+		(cfg.mode == ModeAuto && w.k >= CountsFactor*int64(n))
+	if w.counts {
+		w.cnt = make([]int64, n)
+		w.next = make([]int64, n)
+		w.ring = kernel.DetectShape(g) == kernel.ShapeRing
+		if w.ring {
+			w.split = make([]int64, n)
+		} else {
+			maxDeg := 0
+			for v := 0; v < n; v++ {
+				if d := g.Degree(v); d > maxDeg {
+					maxDeg = d
+				}
+			}
+			w.port = make([]int64, maxDeg)
+		}
+	} else {
+		w.pos = make([]int, 0, len(positions))
+	}
+	w.place()
+	return w, nil
+}
+
+// place initializes the walker state and visit counters from pos0.
+func (w *Walk) place() {
+	if w.counts {
+		for _, v := range w.pos0 {
+			w.cnt[v]++
+		}
+	} else {
+		w.pos = append(w.pos[:0], w.pos0...)
+	}
+	for _, v := range w.pos0 {
 		if !w.visited[v] {
 			w.visited[v] = true
 			w.covered++
 		}
 		w.visits[v]++
 	}
-	return w, nil
+}
+
+// Mode reports the stepping engine in use: "agents" or "counts".
+func (w *Walk) Mode() string {
+	if w.counts {
+		return ModeCounts.String()
+	}
+	return ModeAgents.String()
 }
 
 // NumWalkers returns k.
-func (w *Walk) NumWalkers() int { return len(w.pos) }
+func (w *Walk) NumWalkers() int { return int(w.k) }
 
 // Round returns the number of completed rounds.
 func (w *Walk) Round() int64 { return w.round }
@@ -75,11 +187,49 @@ func (w *Walk) Covered() int { return w.covered }
 // initial placement).
 func (w *Walk) Visits(v int) int64 { return w.visits[v] }
 
-// Positions returns a copy of the walker positions.
-func (w *Walk) Positions() []int { return append([]int(nil), w.pos...) }
+// At returns the number of walkers currently at v.
+func (w *Walk) At(v int) int64 {
+	if w.counts {
+		return w.cnt[v]
+	}
+	var c int64
+	for _, p := range w.pos {
+		if p == v {
+			c++
+		}
+	}
+	return c
+}
+
+// Positions returns a copy of the walker positions. Walkers are
+// indistinguishable under counts-based stepping, so the copy is sorted in
+// that mode (and in whatever per-walker order the per-agent engine holds
+// otherwise).
+func (w *Walk) Positions() []int {
+	if !w.counts {
+		return append([]int(nil), w.pos...)
+	}
+	out := make([]int, 0, w.k)
+	for v, c := range w.cnt {
+		for i := int64(0); i < c; i++ {
+			out = append(out, v)
+		}
+	}
+	return out
+}
 
 // Step moves every walker to a uniformly random neighbor.
 func (w *Walk) Step() {
+	if w.counts {
+		w.stepCounts()
+	} else {
+		w.stepAgents()
+	}
+	w.round++
+}
+
+// stepAgents is the per-agent engine: one draw per walker.
+func (w *Walk) stepAgents() {
 	for i, v := range w.pos {
 		d := w.g.Degree(v)
 		var dest int
@@ -95,7 +245,93 @@ func (w *Walk) Step() {
 			w.covered++
 		}
 	}
-	w.round++
+}
+
+// stepCounts is the counts-based engine: one multinomial draw per occupied
+// node. Every walker moves each round, so after the buffer swap the count
+// array equals the round's arrival counts — a fact the recurrence
+// measurements below rely on.
+func (w *Walk) stepCounts() {
+	cur, next := w.cnt, w.next
+	if w.ring {
+		// Gather formulation, two sequential passes: first draw every
+		// node's clockwise-mover count, then assemble arrivals as
+		// next[v] = cw[v-1] + ccw[v+1] — no buffer clear, no
+		// read-modify-write scatter.
+		n := len(cur)
+		split := w.split
+		rng := w.rng
+		for v, c := range cur {
+			if c == 0 {
+				split[v] = 0
+				continue
+			}
+			split[v] = rng.BinomialHalf(c)
+		}
+		next[0] = split[n-1] + cur[1] - split[1]
+		for v := 1; v < n-1; v++ {
+			next[v] = split[v-1] + cur[v+1] - split[v+1]
+		}
+		next[n-1] = split[n-2] + cur[0] - split[0]
+	} else {
+		for i := range next {
+			next[i] = 0
+		}
+		for v, c := range cur {
+			if c == 0 {
+				continue
+			}
+			d := w.g.Degree(v)
+			if d == 1 {
+				next[w.g.Neighbor(v, 0)] += c
+				continue
+			}
+			split := w.port[:d]
+			w.rng.Multinomial(c, split)
+			for p, x := range split {
+				if x > 0 {
+					next[w.g.Neighbor(v, p)] += x
+				}
+			}
+		}
+	}
+	visits := w.visits
+	if w.covered == len(visits) {
+		// Fully covered: only the visit counters still change.
+		for v, a := range next {
+			if a != 0 {
+				visits[v] += a
+			}
+		}
+	} else {
+		for v, a := range next {
+			if a == 0 {
+				continue
+			}
+			visits[v] += a
+			if !w.visited[v] {
+				w.visited[v] = true
+				w.covered++
+			}
+		}
+	}
+	w.cnt, w.next = next, cur
+}
+
+// forEachArrival invokes f(v, c) for every node that received c ≥ 1
+// walkers during the last completed round.
+func (w *Walk) forEachArrival(f func(v int, c int64)) {
+	if w.counts {
+		for v, c := range w.cnt {
+			if c > 0 {
+				f(v, c)
+			}
+		}
+		return
+	}
+	for _, v := range w.pos {
+		f(v, 1)
+	}
 }
 
 // Run executes the given number of rounds.
@@ -119,11 +355,52 @@ func (w *Walk) RunUntilCovered(maxRounds int64) (int64, error) {
 	return w.round, nil
 }
 
+// Reset restores the initial placement and clears all counters, allowing a
+// fresh run on the same topology without reallocation (mirroring
+// core.System.Reset). The generator state is left as is; combine with
+// Reseed for reproducible independent trials.
+func (w *Walk) Reset() {
+	w.round = 0
+	w.covered = 0
+	for v := range w.visited {
+		w.visited[v] = false
+		w.visits[v] = 0
+	}
+	if w.counts {
+		for v := range w.cnt {
+			w.cnt[v] = 0
+		}
+	}
+	w.place()
+}
+
+// Reseed resets the generator to the deterministic state xrand.New(seed)
+// would give it.
+func (w *Walk) Reseed(seed uint64) { w.rng.Reseed(seed) }
+
+// Clone returns a deep copy of the walk, including the generator state:
+// the copy and the original evolve identically from here (mirroring
+// core.System.Clone).
+func (w *Walk) Clone() *Walk {
+	c := *w
+	c.rng = w.rng.Clone()
+	c.pos = append([]int(nil), w.pos...)
+	c.cnt = append([]int64(nil), w.cnt...)
+	c.next = append([]int64(nil), w.next...)
+	c.split = append([]int64(nil), w.split...)
+	c.port = append([]int64(nil), w.port...)
+	c.pos0 = append([]int(nil), w.pos0...)
+	c.visited = append([]bool(nil), w.visited...)
+	c.visits = append([]int64(nil), w.visits...)
+	return &c
+}
+
 // CoverTimes runs independent trials of the cover time of k synchronous
 // random walks from the given positions, using deterministic per-trial
 // seeds derived from seed. Trials run in parallel across workers (bounded
-// by GOMAXPROCS). It fails if any trial exhausts maxRounds.
-func CoverTimes(g *graph.Graph, positions []int, trials int, seed uint64, maxRounds int64) ([]int64, error) {
+// by GOMAXPROCS), each worker reusing one Walk across its trials via
+// Reseed and Reset. It fails if any trial exhausts maxRounds.
+func CoverTimes(g *graph.Graph, positions []int, trials int, seed uint64, maxRounds int64, opts ...Option) ([]int64, error) {
 	if trials <= 0 {
 		return nil, errors.New("randwalk: trials must be positive")
 	}
@@ -140,12 +417,19 @@ func CoverTimes(g *graph.Graph, positions []int, trials int, seed uint64, maxRou
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			var w *Walk
 			for t := range next {
-				rng := xrand.New(seed + uint64(t)*0x9e3779b97f4a7c15)
-				w, err := New(g, positions, rng)
-				if err != nil {
-					errs[t] = err
-					continue
+				trialSeed := seed + uint64(t)*0x9e3779b97f4a7c15
+				if w == nil {
+					var err error
+					w, err = New(g, positions, xrand.New(trialSeed), opts...)
+					if err != nil {
+						errs[t] = err
+						continue
+					}
+				} else {
+					w.Reseed(trialSeed)
+					w.Reset()
 				}
 				times[t], errs[t] = w.RunUntilCovered(maxRounds)
 			}
@@ -187,13 +471,13 @@ func (w *Walk) MeasureGaps(burnIn, window int64) GapStats {
 	count := make([]int64, n)
 	for t := int64(1); t <= window; t++ {
 		w.Step()
-		for _, v := range w.pos {
+		w.forEachArrival(func(v int, c int64) {
 			if g := t - lastSeen[v]; g > maxGap[v] {
 				maxGap[v] = g
 			}
 			lastSeen[v] = t
-			count[v]++
-		}
+			count[v] += c
+		})
 	}
 	var stats GapStats
 	stats.Window = window
@@ -219,10 +503,8 @@ func (w *Walk) MeasureGaps(burnIn, window int64) GapStats {
 // number of rounds taken (0 if a walker starts there). It returns an error
 // if maxRounds elapse first.
 func (w *Walk) HittingTime(target int, maxRounds int64) (int64, error) {
-	for _, v := range w.pos {
-		if v == target {
-			return 0, nil
-		}
+	if w.At(target) > 0 {
+		return 0, nil
 	}
 	start := w.round
 	for {
@@ -230,10 +512,8 @@ func (w *Walk) HittingTime(target int, maxRounds int64) (int64, error) {
 			return 0, fmt.Errorf("randwalk: target %d not hit within %d rounds", target, maxRounds)
 		}
 		w.Step()
-		for _, v := range w.pos {
-			if v == target {
-				return w.round - start, nil
-			}
+		if w.At(target) > 0 {
+			return w.round - start, nil
 		}
 	}
 }

@@ -211,3 +211,202 @@ func TestDegreeOneNodesFollowOnlyEdge(t *testing.T) {
 		t.Fatal("leaf walker did not move to hub")
 	}
 }
+
+// --- Tier-3 counts-based engine tests ---
+
+func TestModeAutoSelection(t *testing.T) {
+	g := graph.Ring(32)
+	cases := []struct {
+		k    int
+		opts []Option
+		want string
+	}{
+		{2, nil, "agents"},
+		{32 * CountsFactor, nil, "counts"},
+		{2, []Option{WithMode(ModeCounts)}, "counts"},
+		{32 * CountsFactor, []Option{WithMode(ModeAgents)}, "agents"},
+	}
+	for _, tc := range cases {
+		w, err := New(g, core.EquallySpaced(32, tc.k), xrand.New(1), tc.opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := w.Mode(); got != tc.want {
+			t.Errorf("k=%d opts=%d: mode %q, want %q", tc.k, len(tc.opts), got, tc.want)
+		}
+	}
+}
+
+// TestCountsConservation checks that counts-based stepping conserves
+// walkers, keeps visit counters consistent, and only moves along edges, on
+// both the ring fast path and the general multinomial path.
+func TestCountsConservation(t *testing.T) {
+	for _, g := range []*graph.Graph{graph.Ring(24), graph.Torus2D(5, 5), graph.Star(9)} {
+		const k = 120
+		w, err := New(g, core.EquallySpaced(g.NumNodes(), k), xrand.New(3), WithMode(ModeCounts))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for round := 0; round < 200; round++ {
+			before := append([]int64(nil), w.cnt...)
+			w.Step()
+			var total int64
+			for v, c := range w.cnt {
+				if c < 0 {
+					t.Fatalf("%s: negative count at %d", g.Name(), v)
+				}
+				total += c
+				// Arrivals at v must be explainable by neighbor occupancy.
+				if c > 0 {
+					var avail int64
+					for p := 0; p < g.Degree(v); p++ {
+						avail += before[g.Neighbor(v, p)]
+					}
+					if c > avail {
+						t.Fatalf("%s: %d arrivals at %d but only %d walkers adjacent", g.Name(), c, v, avail)
+					}
+				}
+			}
+			if total != k {
+				t.Fatalf("%s: walker total %d after round %d", g.Name(), total, round+1)
+			}
+		}
+		var visitTotal int64
+		for v := 0; v < g.NumNodes(); v++ {
+			visitTotal += w.Visits(v)
+		}
+		if visitTotal != k+k*200 {
+			t.Fatalf("%s: visit total %d, want %d", g.Name(), visitTotal, k+k*200)
+		}
+	}
+}
+
+// TestCountsVsAgentsCoverDistribution is the tier-3 statistical validation:
+// the two engines simulate the same process, so their cover-time
+// distributions on a small ring must agree. RNG consumption necessarily
+// differs, so the comparison is distributional: a two-sample z-test on the
+// mean over many trials, plus a quantile sanity check.
+func TestCountsVsAgentsCoverDistribution(t *testing.T) {
+	const (
+		n      = 24
+		k      = 96 // k = 4n: auto would pick counts; force both engines
+		trials = 400
+	)
+	g := graph.Ring(n)
+	positions := core.AllOnNode(0, k)
+
+	sample := func(mode Mode, seed uint64) []int64 {
+		times, err := CoverTimes(g, positions, trials, seed, 1<<24, WithMode(mode))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return times
+	}
+	agents := sample(ModeAgents, 1001)
+	counts := sample(ModeCounts, 2002)
+
+	meanVar := func(xs []int64) (float64, float64) {
+		var sum, sumsq float64
+		for _, x := range xs {
+			sum += float64(x)
+			sumsq += float64(x) * float64(x)
+		}
+		m := sum / float64(len(xs))
+		return m, sumsq/float64(len(xs)) - m*m
+	}
+	ma, va := meanVar(agents)
+	mc, vc := meanVar(counts)
+
+	// Two-sample z-test on the means at ~4σ.
+	se := math.Sqrt(va/trials + vc/trials)
+	if z := math.Abs(ma-mc) / se; z > 4 {
+		t.Errorf("cover-time means diverge: agents %.1f vs counts %.1f (z=%.1f)", ma, mc, z)
+	}
+	// The spreads should be comparable too (variance ratio within 2x).
+	if r := va / vc; r < 0.5 || r > 2 {
+		t.Errorf("cover-time variances diverge: agents %.1f vs counts %.1f", va, vc)
+	}
+}
+
+// TestCountsVsAgentsGapStats cross-validates the recurrence measurements:
+// the mean inter-visit gap must be ~n/k under both engines.
+func TestCountsVsAgentsGapStats(t *testing.T) {
+	const n, k = 32, 128
+	g := graph.Ring(n)
+	want := float64(n) / float64(k)
+	for _, mode := range []Mode{ModeAgents, ModeCounts} {
+		w, err := New(g, core.EquallySpaced(n, k), xrand.New(17), WithMode(mode))
+		if err != nil {
+			t.Fatal(err)
+		}
+		gs := w.MeasureGaps(10*n, 100_000)
+		if math.Abs(gs.MeanGap-want)/want > 0.10 {
+			t.Errorf("%v: mean gap %.3f, want about %.3f", mode, gs.MeanGap, want)
+		}
+	}
+}
+
+// TestWalkResetClone pins the Reset/Clone/Reseed contracts on both engines.
+func TestWalkResetClone(t *testing.T) {
+	g := graph.Ring(20)
+	for _, mode := range []Mode{ModeAgents, ModeCounts} {
+		w, err := New(g, []int{0, 0, 5, 13}, xrand.New(77), WithMode(mode))
+		if err != nil {
+			t.Fatal(err)
+		}
+		first, err := w.RunUntilCovered(1 << 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Reseed + Reset must reproduce the identical trajectory.
+		w.Reseed(77)
+		w.Reset()
+		if w.Round() != 0 || w.Covered() != 3 || w.Visits(0) != 2 {
+			t.Fatalf("%v: Reset state round=%d covered=%d visits0=%d", mode, w.Round(), w.Covered(), w.Visits(0))
+		}
+		again, err := w.RunUntilCovered(1 << 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if first != again {
+			t.Fatalf("%v: cover %d then %d after Reseed+Reset", mode, first, again)
+		}
+
+		// Clone must evolve identically to the original.
+		c := w.Clone()
+		for i := 0; i < 50; i++ {
+			w.Step()
+			c.Step()
+		}
+		pw, pc := w.Positions(), c.Positions()
+		for i := range pw {
+			if pw[i] != pc[i] {
+				t.Fatalf("%v: clone diverged: %v vs %v", mode, pw, pc)
+			}
+		}
+		if w.Round() != c.Round() || w.Covered() != c.Covered() {
+			t.Fatalf("%v: clone counters diverged", mode)
+		}
+	}
+}
+
+// TestCountsHittingAndAt covers the At accessor and hitting times under
+// counts-based stepping.
+func TestCountsHittingAndAt(t *testing.T) {
+	g := graph.Ring(16)
+	w, err := New(g, []int{3, 3, 8}, xrand.New(5), WithMode(ModeCounts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.At(3) != 2 || w.At(8) != 1 || w.At(0) != 0 {
+		t.Fatalf("At counts wrong: %d %d %d", w.At(3), w.At(8), w.At(0))
+	}
+	if ht, err := w.HittingTime(8, 10); err != nil || ht != 0 {
+		t.Fatalf("hitting own start: %d, %v", ht, err)
+	}
+	ht, err := w.HittingTime(12, 1<<20)
+	if err != nil || ht <= 0 {
+		t.Fatalf("hitting time %d, %v", ht, err)
+	}
+}

@@ -1,0 +1,196 @@
+package xrand
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// Binomial sampling for the counts-based random-walk kernel (tier 3): a
+// node holding c walkers scatters them over its ports with a multinomial
+// draw, whose chain-rule factors are binomials. Three regimes:
+//
+//   - p = 1/2, small n: the sum of n fair bits, i.e. the population count
+//     of n random bits — exact and essentially one generator call per 64
+//     trials. This is the hot path of the ring walk kernel, where per-node
+//     occupancies are around k/n.
+//   - small n·p: exact chop-down inversion sampling (BINV), walking the
+//     CDF with the multiplicative pmf recurrence.
+//   - large n·p: Hörmann's transformed rejection with squeeze (BTRS,
+//     "The generation of binomial random variates", 1993), the standard
+//     large-count sampler (also used by NumPy and TensorFlow). Rejection
+//     against the exact pmf via Stirling tail corrections, ~1.15 uniform
+//     pairs per variate.
+//
+// RNG consumption differs per regime, so counts-based processes are not
+// stream-compatible with per-agent ones; they are validated statistically
+// instead (see randwalk's distribution tests).
+
+// binomialHalfMax bounds the popcount path: above it BTRS is cheaper than
+// scanning n/64 words (n = 4096 is 64 words ≈ 64 generator calls versus
+// BTRS's ~2.3).
+const binomialHalfMax = 4096
+
+// btrsMinNP is the validity floor of the BTRS sampler; below it inversion
+// is used (and is fast, needing O(n·p) pmf steps).
+const btrsMinNP = 10
+
+// Binomial returns a sample from the binomial distribution Bin(n, p): the
+// number of successes in n independent trials of probability p. It panics
+// if n < 0 or p is not a probability, mirroring Intn's contract.
+func (r *Rand) Binomial(n int64, p float64) int64 {
+	if n < 0 || math.IsNaN(p) || p < 0 || p > 1 {
+		panic(fmt.Sprintf("xrand: Binomial(%d, %v) out of domain", n, p))
+	}
+	switch {
+	case n == 0 || p == 0:
+		return 0
+	case p == 1:
+		return n
+	}
+	if p > 0.5 {
+		return n - r.Binomial(n, 1-p)
+	}
+	if p == 0.5 && n <= binomialHalfMax {
+		return r.binomialHalf(n)
+	}
+	if float64(n)*p < btrsMinNP {
+		return r.binomialInv(n, p)
+	}
+	return r.binomialBTRS(n, p)
+}
+
+// binomialHalf samples Bin(n, 1/2) as the popcount of n random bits.
+func (r *Rand) binomialHalf(n int64) int64 {
+	var s int64
+	for ; n >= 64; n -= 64 {
+		s += int64(bits.OnesCount64(r.Uint64()))
+	}
+	if n > 0 {
+		s += int64(bits.OnesCount64(r.Uint64() & (1<<uint(n) - 1)))
+	}
+	return s
+}
+
+// BinomialHalf returns a sample from Bin(n, 1/2), n ≥ 0. It is the
+// fair-coin special case of Binomial on the counts-walk hot path: for n up
+// to 64 it is a single generator call plus a popcount (a shift count of 64
+// yields an all-ones mask, so the n = 64 case needs no branch), and it
+// skips the general entry point's domain checks and regime dispatch.
+func (r *Rand) BinomialHalf(n int64) int64 {
+	if uint64(n) <= 64 {
+		return int64(bits.OnesCount64(r.Uint64() & (1<<uint(n) - 1)))
+	}
+	if n <= binomialHalfMax {
+		return r.binomialHalf(n)
+	}
+	return r.binomialBTRS(n, 0.5)
+}
+
+// binomialInv is exact chop-down inversion (BINV) for n·p < btrsMinNP and
+// 0 < p ≤ 1/2: subtract pmf(0), pmf(1), ... from a uniform until it goes
+// negative. The pmf follows the recurrence f(x+1) = f(x)·(a/(x+1) - s).
+func (r *Rand) binomialInv(n int64, p float64) int64 {
+	q := 1 - p
+	s := p / q
+	a := float64(n+1) * s
+	f0 := math.Pow(q, float64(n)) // ≥ exp(-2·n·p) > 0; no underflow here
+	for {
+		u := r.Float64()
+		f := f0
+		for x := int64(0); ; x++ {
+			if u < f {
+				return x
+			}
+			if x == n {
+				// Accumulated rounding pushed u past the total mass
+				// (probability ~ulp); the mass beyond n is zero.
+				return n
+			}
+			u -= f
+			f *= a/float64(x+1) - s
+		}
+	}
+}
+
+// stirlingTail returns the Stirling series remainder
+// log(k!) - (k + 1/2)·log(k+1) + (k+1) - log(2π)/2, tabulated for small k.
+func stirlingTail(k float64) float64 {
+	if k < 10 {
+		return stirlingTailTable[int(k)]
+	}
+	kp1sq := (k + 1) * (k + 1)
+	return (1.0/12 - (1.0/360-1.0/1260/kp1sq)/kp1sq) / (k + 1)
+}
+
+var stirlingTailTable = [10]float64{
+	0.0810614667953272,
+	0.0413406959554092,
+	0.0276779256849983,
+	0.0207906721037650,
+	0.0166446911898211,
+	0.0138761288230707,
+	0.0118967099458917,
+	0.0104112652619720,
+	0.0092554621827127,
+	0.0083305634333594,
+}
+
+// binomialBTRS is Hörmann's transformed-rejection sampler for n·p ≥
+// btrsMinNP and 0 < p ≤ 1/2.
+func (r *Rand) binomialBTRS(n int64, p float64) int64 {
+	fn := float64(n)
+	q := 1 - p
+	spq := math.Sqrt(fn * p * q)
+	b := 1.15 + 2.53*spq
+	a := -0.0873 + 0.0248*b + 0.01*p
+	c := fn*p + 0.5
+	vr := 0.92 - 4.2/b
+	alpha := (2.83 + 5.1/b) * spq
+	lpq := math.Log(p / q)
+	m := math.Floor((fn + 1) * p) // the mode
+	hm := stirlingTail(m) + stirlingTail(fn-m)
+
+	for {
+		u := r.Float64() - 0.5
+		v := r.Float64()
+		us := 0.5 - math.Abs(u)
+		k := math.Floor((2*a/us+b)*u + c)
+		// Squeeze: inside the box the transformed density dominates
+		// uniformly and k is guaranteed in range.
+		if us >= 0.07 && v <= vr {
+			return int64(k)
+		}
+		if k < 0 || k > fn {
+			continue
+		}
+		// Exact acceptance test: log of the pmf ratio to the mode,
+		// log(pmf(k)/pmf(m)), via Stirling tail corrections.
+		v = math.Log(v * alpha / (a/(us*us) + b))
+		h := (m+0.5)*math.Log((m+1)/(fn-m+1)) +
+			(fn+1)*math.Log((fn-m+1)/(fn-k+1)) +
+			(k+0.5)*math.Log((fn-k+1)/(k+1)) +
+			(k-m)*lpq +
+			hm - stirlingTail(k) - stirlingTail(fn-k)
+		if v <= h {
+			return int64(k)
+		}
+	}
+}
+
+// Multinomial distributes n trials over len(dst) equally likely categories,
+// writing the per-category counts into dst (the general-graph port split of
+// the counts-based walk kernel). It is the exact chain-rule factorization:
+// category j receives Bin(remaining, 1/(d-j)). len(dst) must be positive.
+func (r *Rand) Multinomial(n int64, dst []int64) {
+	d := len(dst)
+	for j := 0; j < d-1; j++ {
+		var x int64
+		if n > 0 {
+			x = r.Binomial(n, 1/float64(d-j))
+		}
+		dst[j] = x
+		n -= x
+	}
+	dst[d-1] = n
+}

@@ -1,0 +1,199 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+)
+
+// logChoose returns log C(n, k) via log-gamma.
+func logChoose(n, k float64) float64 {
+	ln, _ := math.Lgamma(n + 1)
+	lk, _ := math.Lgamma(k + 1)
+	lnk, _ := math.Lgamma(n - k + 1)
+	return ln - lk - lnk
+}
+
+// binPMF returns the exact Bin(n, p) probability of k.
+func binPMF(n int64, p float64, k int64) float64 {
+	fn, fk := float64(n), float64(k)
+	return math.Exp(logChoose(fn, fk) + fk*math.Log(p) + (fn-fk)*math.Log(1-p))
+}
+
+// chiSquareBinomial draws samples of Bin(n, p) and computes the chi-square
+// statistic against the exact pmf, pooling bins with expectation < 5 into
+// their neighbors. It returns the statistic and the degrees of freedom.
+func chiSquareBinomial(t *testing.T, rng *Rand, n int64, p float64, samples int) (float64, int) {
+	t.Helper()
+	counts := make([]int64, n+1)
+	for i := 0; i < samples; i++ {
+		k := rng.Binomial(n, p)
+		if k < 0 || k > n {
+			t.Fatalf("Binomial(%d, %g) = %d out of range", n, p, k)
+		}
+		counts[k]++
+	}
+	var chi float64
+	df := -1 // one constraint: totals match
+	var pooledObs, pooledExp float64
+	for k := int64(0); k <= n; k++ {
+		pooledObs += float64(counts[k])
+		pooledExp += float64(samples) * binPMF(n, p, k)
+		if pooledExp >= 5 {
+			d := pooledObs - pooledExp
+			chi += d * d / pooledExp
+			df++
+			pooledObs, pooledExp = 0, 0
+		}
+	}
+	if pooledExp > 0 {
+		d := pooledObs - pooledExp
+		chi += d * d / pooledExp
+		df++
+	}
+	return chi, df
+}
+
+// TestBinomialChiSquare validates every sampler regime against the exact
+// pmf: popcount (p = 1/2, small n), inversion (small n·p) and BTRS (large
+// n·p), including the reflection p > 1/2. The acceptance threshold is the
+// 99.9%-quantile of the chi-square distribution, approximated by the
+// Wilson–Hilferty transform; seeds are fixed, so the test is deterministic.
+func TestBinomialChiSquare(t *testing.T) {
+	cases := []struct {
+		n int64
+		p float64
+	}{
+		{1, 0.5}, {7, 0.5}, {64, 0.5}, {100, 0.5}, // popcount
+		{20, 0.1}, {50, 0.07}, {200, 0.02}, {9, 0.3}, // inversion
+		{40, 0.45}, {1000, 0.3}, {5000, 0.5}, {10000, 0.013}, // BTRS
+		{30, 0.8}, {1000, 0.9}, // reflection
+	}
+	rng := New(0xb10)
+	for _, tc := range cases {
+		chi, df := chiSquareBinomial(t, rng, tc.n, tc.p, 40000)
+		// Wilson–Hilferty: chi2_q ≈ df·(1 - 2/(9df) + z_q·sqrt(2/(9df)))³,
+		// z_0.999 ≈ 3.09.
+		fdf := float64(df)
+		limit := fdf * math.Pow(1-2/(9*fdf)+3.09*math.Sqrt(2/(9*fdf)), 3)
+		if chi > limit {
+			t.Errorf("Binomial(%d, %g): chi-square %.1f exceeds %.1f at df=%d",
+				tc.n, tc.p, chi, limit, df)
+		}
+	}
+}
+
+// TestBinomialMoments checks mean and variance at scales where the full
+// chi-square would need too many bins.
+func TestBinomialMoments(t *testing.T) {
+	cases := []struct {
+		n int64
+		p float64
+	}{
+		{1 << 20, 0.5}, {1 << 16, 0.25}, {1 << 14, 0.003},
+	}
+	rng := New(0xb11)
+	const samples = 20000
+	for _, tc := range cases {
+		var sum, sumsq float64
+		for i := 0; i < samples; i++ {
+			x := float64(rng.Binomial(tc.n, tc.p))
+			sum += x
+			sumsq += x * x
+		}
+		mean := sum / samples
+		variance := sumsq/samples - mean*mean
+		wantMean := float64(tc.n) * tc.p
+		wantVar := wantMean * (1 - tc.p)
+		// Mean of the sample mean has stddev sqrt(var/samples); allow 5σ.
+		if tol := 5 * math.Sqrt(wantVar/samples); math.Abs(mean-wantMean) > tol {
+			t.Errorf("Binomial(%d, %g): mean %.1f, want %.1f ± %.1f", tc.n, tc.p, mean, wantMean, tol)
+		}
+		if math.Abs(variance-wantVar)/wantVar > 0.10 {
+			t.Errorf("Binomial(%d, %g): variance %.1f, want %.1f ± 10%%", tc.n, tc.p, variance, wantVar)
+		}
+	}
+}
+
+// TestBinomialEdgeCases pins the degenerate parameters and determinism.
+func TestBinomialEdgeCases(t *testing.T) {
+	rng := New(1)
+	if got := rng.Binomial(0, 0.5); got != 0 {
+		t.Errorf("Binomial(0, 0.5) = %d", got)
+	}
+	if got := rng.Binomial(100, 0); got != 0 {
+		t.Errorf("Binomial(100, 0) = %d", got)
+	}
+	if got := rng.Binomial(100, 1); got != 100 {
+		t.Errorf("Binomial(100, 1) = %d", got)
+	}
+	for _, bad := range []float64{-0.1, 1.1, math.NaN()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Binomial(10, %v) did not panic", bad)
+				}
+			}()
+			rng.Binomial(10, bad)
+		}()
+	}
+
+	a, b := New(42), New(42)
+	params := New(7)
+	for i := 0; i < 200; i++ {
+		n := int64(1 + params.Intn(10000))
+		p := 0.01 + 0.98*params.Float64()
+		if x, y := a.Binomial(n, p), b.Binomial(n, p); x != y {
+			t.Fatalf("same seed diverged: Binomial(%d, %g) = %d vs %d", n, p, x, y)
+		}
+	}
+}
+
+// TestMultinomial checks the equally-likely multinomial split: totals are
+// conserved and each category's marginal matches Bin(n, 1/d) moments.
+func TestMultinomial(t *testing.T) {
+	rng := New(0x31)
+	const n, d, samples = 600, 5, 20000
+	sums := make([]float64, d)
+	dst := make([]int64, d)
+	for i := 0; i < samples; i++ {
+		rng.Multinomial(n, dst)
+		var total int64
+		for j, x := range dst {
+			if x < 0 {
+				t.Fatalf("negative category count %d", x)
+			}
+			total += x
+			sums[j] += float64(x)
+		}
+		if total != n {
+			t.Fatalf("multinomial total %d, want %d", total, n)
+		}
+	}
+	want := float64(n) / d
+	// Marginal is Bin(n, 1/d): stddev of the sample mean over `samples`.
+	tol := 5 * math.Sqrt(want*(1-1.0/d)/samples)
+	for j, s := range sums {
+		if mean := s / samples; math.Abs(mean-want) > tol {
+			t.Errorf("category %d mean %.2f, want %.2f ± %.2f", j, mean, want, tol)
+		}
+	}
+}
+
+// TestReseedClone pins the Reseed and Clone contracts.
+func TestReseedClone(t *testing.T) {
+	r := New(7)
+	r.Uint64()
+	r.Reseed(7)
+	fresh := New(7)
+	for i := 0; i < 32; i++ {
+		if r.Uint64() != fresh.Uint64() {
+			t.Fatal("Reseed did not restore the New(seed) stream")
+		}
+	}
+	c := r.Clone()
+	for i := 0; i < 32; i++ {
+		if r.Uint64() != c.Uint64() {
+			t.Fatal("Clone diverged from original")
+		}
+	}
+}

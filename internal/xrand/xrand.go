@@ -50,8 +50,16 @@ type Rand struct {
 
 // New returns a Rand seeded deterministically from seed.
 func New(seed uint64) *Rand {
-	sm := NewSplitMix64(seed)
 	var r Rand
+	r.Reseed(seed)
+	return &r
+}
+
+// Reseed resets the generator in place to the state New(seed) would
+// produce, letting long-lived simulation objects restart their stream
+// without reallocating.
+func (r *Rand) Reseed(seed uint64) {
+	sm := NewSplitMix64(seed)
 	for i := range r.s {
 		r.s[i] = sm.Uint64()
 	}
@@ -60,7 +68,13 @@ func New(seed uint64) *Rand {
 	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
 		r.s[0] = 0x9e3779b97f4a7c15
 	}
-	return &r
+}
+
+// Clone returns an independent copy of the generator at its current state:
+// the copy and the original produce the same stream from here on.
+func (r *Rand) Clone() *Rand {
+	c := *r
+	return &c
 }
 
 // Uint64 returns the next value of the xoshiro256** stream.

@@ -417,3 +417,65 @@ func TestPredictWalkWorstCover(t *testing.T) {
 		t.Error("walk worst should shrink with k")
 	}
 }
+
+// TestKernelOptionFacade pins the public Kernel option's mapping onto both
+// engines: forced tiers select the expected kernels, rotor results stay
+// bit-identical across tiers, and invalid policies are rejected — so a
+// reordering of the internal enums cannot silently remap the public API.
+func TestKernelOptionFacade(t *testing.T) {
+	g := Ring(64)
+
+	mkRotor := func(p KernelPolicy) *RotorSim {
+		t.Helper()
+		sim, err := NewRotorSim(g,
+			Agents(32),
+			Place(PlaceEqualSpacing),
+			Pointers(PointerNegative),
+			Kernel(p))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sim
+	}
+	if got := mkRotor(KernelFast).KernelName(); got != "ring" {
+		t.Errorf("KernelFast rotor selected %q", got)
+	}
+	if got := mkRotor(KernelGeneric).KernelName(); got != "generic" {
+		t.Errorf("KernelGeneric rotor selected %q", got)
+	}
+	fast, generic := mkRotor(KernelFast), mkRotor(KernelGeneric)
+	cf, err := fast.CoverTime(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cg, err := generic.CoverTime(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cf != cg {
+		t.Errorf("cover time differs across tiers: fast %d, generic %d", cf, cg)
+	}
+
+	mkWalk := func(p KernelPolicy) *WalkSim {
+		t.Helper()
+		w, err := NewWalkSim(g, Agents(4), Kernel(p))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return w
+	}
+	if got := mkWalk(KernelFast).Mode(); got != "counts" {
+		t.Errorf("KernelFast walk mode %q", got)
+	}
+	if got := mkWalk(KernelGeneric).Mode(); got != "agents" {
+		t.Errorf("KernelGeneric walk mode %q", got)
+	}
+	// k = 4 on 64 nodes is sparse: auto must pick the per-agent engine.
+	if got := mkWalk(KernelAuto).Mode(); got != "agents" {
+		t.Errorf("sparse KernelAuto walk mode %q", got)
+	}
+
+	if _, err := NewRotorSim(g, Kernel(KernelPolicy(99))); err == nil {
+		t.Error("invalid kernel policy accepted")
+	}
+}

@@ -48,6 +48,37 @@ const (
 	PointerRandom
 )
 
+// KernelPolicy selects the stepping tier of a simulation (see
+// internal/kernel): the specialized ring/path rotor kernels and the
+// counts-based walk engine are several times faster in the paper's dense
+// regimes and produce identical results (bit-identical for the rotor,
+// statistically identical for walks).
+type KernelPolicy int
+
+// Kernel policies.
+const (
+	// KernelAuto picks the fastest equivalent engine per topology and
+	// density. This is the default.
+	KernelAuto KernelPolicy = iota
+	// KernelGeneric forces the generic rotor engine / per-agent walks.
+	KernelGeneric
+	// KernelFast forces the specialized rotor kernel (where the topology
+	// has one) / counts-based walks.
+	KernelFast
+)
+
+// coreMode maps the public policy to the rotor engine's kernel mode.
+func (k KernelPolicy) coreMode() core.KernelMode {
+	switch k {
+	case KernelGeneric:
+		return core.KernelGeneric
+	case KernelFast:
+		return core.KernelFast
+	default:
+		return core.KernelAuto
+	}
+}
+
 // SimOption configures NewRotorSim or NewWalkSim.
 type SimOption func(*simConfig) error
 
@@ -59,6 +90,7 @@ type simConfig struct {
 	customPtr []int
 	seed      uint64
 	tracking  bool
+	kernel    KernelPolicy
 }
 
 // Agents sets the number of agents k (used with a placement policy).
@@ -119,10 +151,26 @@ func Seed(s uint64) SimOption {
 }
 
 // TrackDomains enables domain and lazy-domain analysis (ring topologies
-// only); it adds per-round flow recording overhead.
+// only); it adds per-round flow recording overhead (and pins the rotor to
+// the generic stepping engine).
 func TrackDomains() SimOption {
 	return func(c *simConfig) error {
 		c.tracking = true
+		return nil
+	}
+}
+
+// Kernel selects the stepping tier; the default is KernelAuto. Rotor
+// simulations produce bit-identical results on every tier; random-walk
+// simulations run exactly the same process but consume the seed's random
+// stream differently per tier, so individual trajectories (not their
+// distribution) change with the tier.
+func Kernel(k KernelPolicy) SimOption {
+	return func(c *simConfig) error {
+		if k < KernelAuto || k > KernelFast {
+			return fmt.Errorf("rotorring: unknown kernel policy %d", k)
+		}
+		c.kernel = k
 		return nil
 	}
 }
@@ -193,6 +241,7 @@ func NewRotorSim(g *Graph, opts ...SimOption) (*RotorSim, error) {
 	coreOpts := []core.Option{
 		core.WithAgentsAt(positions...),
 		core.WithPointers(pointers),
+		core.WithKernelMode(cfg.kernel.coreMode()),
 	}
 	if cfg.tracking {
 		coreOpts = append(coreOpts, core.WithFlowRecording())
@@ -214,6 +263,10 @@ func NewRotorSim(g *Graph, opts ...SimOption) (*RotorSim, error) {
 
 // NumAgents returns k.
 func (s *RotorSim) NumAgents() int { return int(s.sys.NumAgents()) }
+
+// KernelName reports the stepping kernel in use ("ring", "path" or
+// "generic").
+func (s *RotorSim) KernelName() string { return s.sys.KernelName() }
 
 // Round returns the number of completed rounds.
 func (s *RotorSim) Round() int64 { return s.sys.Round() }

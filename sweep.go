@@ -40,6 +40,11 @@ type SweepSpec struct {
 	Seed uint64
 	// MaxRounds bounds each run (0 = automatic).
 	MaxRounds int64
+	// Kernel selects the stepping tier (default KernelAuto). Rotor rows
+	// are bit-identical across tiers; walk rows are resampled under a
+	// different (equally distributed) random stream. Seeds never depend
+	// on it.
+	Kernel KernelPolicy
 }
 
 // SweepRow is the result of one sweep job (one replica of one grid cell).
@@ -74,6 +79,7 @@ func (s SweepSpec) engineSpec() engine.SweepSpec {
 		Replicas:  s.Replicas,
 		Seed:      s.Seed,
 		MaxRounds: s.MaxRounds,
+		Kernel:    engine.Kernel(s.Kernel),
 	}
 	for _, p := range s.Placements {
 		es.Placements = append(es.Placements, engine.Placement(p))

@@ -6,6 +6,19 @@ import (
 	"rotorring/internal/xrand"
 )
 
+// walkMode maps the public policy to the walk engine's stepping mode:
+// generic ↔ per-agent, fast ↔ counts.
+func (k KernelPolicy) walkMode() randwalk.Mode {
+	switch k {
+	case KernelGeneric:
+		return randwalk.ModeAgents
+	case KernelFast:
+		return randwalk.ModeCounts
+	default:
+		return randwalk.ModeAuto
+	}
+}
+
 // WalkSim is a system of k independent synchronous random walkers — the
 // randomized baseline the paper compares the rotor-router against.
 type WalkSim struct {
@@ -13,10 +26,14 @@ type WalkSim struct {
 	g         *Graph
 	positions []int
 	seed      uint64
+	kernel    KernelPolicy
 }
 
 // NewWalkSim creates a random-walk simulation on g. Pointer options are
-// ignored (walks have no pointers); placement and seed options apply.
+// ignored (walks have no pointers); placement, seed and kernel options
+// apply — the Kernel option selects between per-agent stepping
+// (KernelGeneric) and the counts-based engine (KernelFast), with KernelAuto
+// choosing by walker density.
 func NewWalkSim(g *Graph, opts ...SimOption) (*WalkSim, error) {
 	cfg := simConfig{seed: 1}
 	for _, o := range opts {
@@ -28,15 +45,19 @@ func NewWalkSim(g *Graph, opts ...SimOption) (*WalkSim, error) {
 	if err != nil {
 		return nil, err
 	}
-	w, err := randwalk.New(g, positions, xrand.New(cfg.seed))
+	w, err := randwalk.New(g, positions, xrand.New(cfg.seed),
+		randwalk.WithMode(cfg.kernel.walkMode()))
 	if err != nil {
 		return nil, err
 	}
-	return &WalkSim{walk: w, g: g, positions: positions, seed: cfg.seed}, nil
+	return &WalkSim{walk: w, g: g, positions: positions, seed: cfg.seed, kernel: cfg.kernel}, nil
 }
 
 // NumWalkers returns k.
 func (w *WalkSim) NumWalkers() int { return w.walk.NumWalkers() }
+
+// Mode reports the stepping engine in use ("agents" or "counts").
+func (w *WalkSim) Mode() string { return w.walk.Mode() }
 
 // Round returns the number of completed rounds.
 func (w *WalkSim) Round() int64 { return w.walk.Round() }
@@ -88,7 +109,8 @@ func (w *WalkSim) ExpectedCoverTime(trials int, maxRounds int64) (CoverTimeSumma
 	if maxRounds == 0 {
 		maxRounds = 4 * defaultCoverBudget(w.g)
 	}
-	times, err := randwalk.CoverTimes(w.g, w.positions, trials, w.seed, maxRounds)
+	times, err := randwalk.CoverTimes(w.g, w.positions, trials, w.seed, maxRounds,
+		randwalk.WithMode(w.kernel.walkMode()))
 	if err != nil {
 		return CoverTimeSummary{}, err
 	}
