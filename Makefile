@@ -6,7 +6,7 @@ GO ?= go
 # Benchtime for bench-kernels; CI smoke uses 1x, local comparisons 1s+.
 BENCHTIME ?= 1s
 
-.PHONY: all build vet fmt fmt-check test race bench-smoke bench-kernels bench-baseline bench-json verify ci clean
+.PHONY: all build vet fmt fmt-check test race bench-smoke bench-kernels bench-baseline bench-json examples-smoke verify ci clean
 
 all: verify
 
@@ -57,7 +57,15 @@ bench-baseline:
 bench-json:
 	$(GO) test -count=1 ./internal/engine -run TestEmitBenchJSON -bench-json $(CURDIR)/BENCH_engine.json -v
 
-ci: build vet fmt-check race bench-smoke bench-kernels-smoke
+# Execute every example with small parameters: examples are user-facing
+# API documentation, so CI proves they run, not just compile.
+examples-smoke:
+	$(GO) run ./examples/quickstart -n 128 -k 4 -trials 4
+	$(GO) run ./examples/bestworst -n 256 -k 8
+	$(GO) run ./examples/patrol -n 96 -k 4
+	$(GO) run ./examples/loadbalance -side 8 -tokens 32 -rounds 2000
+
+ci: build vet fmt-check race bench-smoke bench-kernels-smoke examples-smoke
 
 # CI variant of bench-kernels: single iteration, still exercises every tier.
 .PHONY: bench-kernels-smoke

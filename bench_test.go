@@ -6,6 +6,7 @@
 package rotorring_test
 
 import (
+	"context"
 	"testing"
 
 	"rotorring"
@@ -490,4 +491,60 @@ func BenchmarkWalkStep(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		w.Step()
 	}
+}
+
+// BenchmarkProcessAPI — observer overhead guard for the unified Process
+// API: stepping through the interface and the context-aware runner must
+// stay within noise of raw System stepping (the kernel throughputs
+// committed in BENCH_engine.json), because the unobserved path runs the
+// same hot loop in large chunks — cancellation and sampling cost a branch
+// per chunk, never per round. Compare the sub-benchmarks' steps/sec with
+// `make bench-kernels` / `make bench-baseline`.
+func BenchmarkProcessAPI(b *testing.B) {
+	const n, k = 1 << 16, 1 << 15 // the kernel-bench acceptance scale
+	build := func(b *testing.B) rotorring.Process {
+		p, err := rotorring.New(rotorring.Ring(n), rotorring.RotorRouter(),
+			rotorring.Agents(k), rotorring.Place(rotorring.PlaceEqualSpacing))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := p.Run(256); err != nil { // steady-state warmup
+			b.Fatal(err)
+		}
+		return p
+	}
+	stepsPerSec := func(b *testing.B) {
+		b.ReportMetric(float64(b.N)*float64(k)/b.Elapsed().Seconds(), "steps/sec")
+	}
+
+	b.Run("raw-step", func(b *testing.B) {
+		p := build(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			p.Step()
+		}
+		stepsPerSec(b)
+	})
+	b.Run("run-context", func(b *testing.B) {
+		p := build(b)
+		ctx := context.Background()
+		b.ResetTimer()
+		if err := rotorring.RunContext(ctx, p, int64(b.N)); err != nil {
+			b.Fatal(err)
+		}
+		stepsPerSec(b)
+	})
+	b.Run("run-context-observed", func(b *testing.B) {
+		p := build(b)
+		cov, err := rotorring.CoverageProbe(4096)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ctx := context.Background()
+		b.ResetTimer()
+		if err := rotorring.RunContext(ctx, p, int64(b.N), cov); err != nil {
+			b.Fatal(err)
+		}
+		stepsPerSec(b)
+	})
 }

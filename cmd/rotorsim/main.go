@@ -3,13 +3,21 @@
 // takes a value accepts a comma-separated list, turning a single run into a
 // grid sweep; a single configuration is just a 1-cell sweep.
 //
+// The process and the metric are selected by name from the engine's
+// process registry (-process rotor|walk..., -metric cover|return...), so
+// processes and metrics registered by other packages are reachable without
+// command changes; -walk and -return remain as deprecated aliases. The
+// -probes flag attaches registered stride-sampled probes whose time series
+// streams into the JSONL rows.
+//
 // Usage examples:
 //
 //	rotorsim -topology ring -n 1024 -k 8 -place equal -pointers negative
-//	rotorsim -topology ring -n 1024 -k 8 -place single -pointers toward -return
-//	rotorsim -topology grid -n 32 -k 4 -walk -trials 32
+//	rotorsim -topology ring -n 1024 -k 8 -place single -pointers toward -metric return
+//	rotorsim -topology grid -n 32 -k 4 -process walk -trials 32
 //	rotorsim -n 256,512,1024 -k 2,4,8 -place single,equal -format csv
-//	rotorsim -n 512 -k 4,8 -replicas 16 -walk -workers 8 -format jsonl
+//	rotorsim -n 512 -k 4,8 -replicas 16 -process walk -workers 8 -format jsonl
+//	rotorsim -n 1024 -k 8 -probes coverage:256,histogram:1024 -format jsonl
 package main
 
 import (
@@ -22,6 +30,7 @@ import (
 	"time"
 
 	"rotorring/internal/engine"
+	"rotorring/probe"
 )
 
 func main() {
@@ -64,8 +73,11 @@ func run(args []string, out io.Writer) error {
 	place := fs.String("place", "equal", "placement list: single|equal|random")
 	pointers := fs.String("pointers", "zero", "pointer init list: zero|negative|toward|random")
 	seed := fs.Uint64("seed", 1, "base seed; per-job seeds are derived from it and the configuration")
-	doReturn := fs.Bool("return", false, "measure the recurrence metric (rotor: limit-cycle return time; walk: mean inter-visit gap); text mode adds it after the cover time")
-	walk := fs.Bool("walk", false, "simulate parallel random walks instead")
+	process := fs.String("process", "", "process to run: "+strings.Join(engine.ProcessNames(), "|")+" (default rotor)")
+	metric := fs.String("metric", "", "metric to measure: "+strings.Join(engine.MetricNames(), "|")+" (default cover)")
+	probes := fs.String("probes", "", "stride-sampled probes as name:stride pairs, e.g. coverage:256,histogram:1024 (names: "+strings.Join(probe.Names(), "|")+"); series appear in jsonl rows")
+	doReturn := fs.Bool("return", false, "deprecated alias for -metric return; in text mode, adds the recurrence metric after the cover time")
+	walk := fs.Bool("walk", false, "deprecated alias for -process walk")
 	trials := fs.Int("trials", 16, "trials for the walk expectation estimate (walk replicas)")
 	replicas := fs.Int("replicas", 1, "replicas per grid cell, each with a derived seed")
 	workers := fs.Int("workers", 0, "sweep engine worker pool size (0 = GOMAXPROCS); never affects results")
@@ -84,11 +96,28 @@ func run(args []string, out io.Writer) error {
 			trialsSet = true
 		}
 	})
+	// Resolve the process name: explicit -process wins, the deprecated
+	// -walk alias is honored otherwise, and conflicts are rejected.
+	procName := strings.ToLower(*process)
+	if *walk {
+		if procName != "" && procName != engine.ProcWalk {
+			return fmt.Errorf("-walk conflicts with -process %s", procName)
+		}
+		procName = engine.ProcWalk
+	}
+	if procName == "" {
+		procName = engine.ProcRotor
+	}
+	metricName := strings.ToLower(*metric)
+	if *doReturn && metricName != "" && metricName != engine.MetricReturn {
+		return fmt.Errorf("-return conflicts with -metric %s", metricName)
+	}
+
 	if trialsSet && replicasSet {
 		return fmt.Errorf("-trials and -replicas are aliases for walks; set only one")
 	}
-	if trialsSet && !*walk {
-		return fmt.Errorf("-trials applies only to -walk (use -replicas for rotor sweeps)")
+	if trialsSet && procName != engine.ProcWalk {
+		return fmt.Errorf("-trials applies only to walks (use -replicas for other sweeps)")
 	}
 	if *replicas < 1 {
 		return fmt.Errorf("-replicas: need at least 1, got %d", *replicas)
@@ -117,6 +146,15 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	probeSpecs, err := parseProbes(*probes)
+	if err != nil {
+		return err
+	}
+	if len(probeSpecs) > 0 && *format != "jsonl" {
+		// Only the JSONL sink serializes series; computing them for text
+		// or CSV output would burn the sampling cost and discard it.
+		return fmt.Errorf("-probes requires -format jsonl (series are not representable in %s output)", *format)
+	}
 
 	spec := engine.SweepSpec{
 		Topology:   *topology,
@@ -124,27 +162,26 @@ func run(args []string, out io.Writer) error {
 		Agents:     ks,
 		Placements: places,
 		Pointers:   ptrs,
-		Process:    engine.ProcRotor,
-		Metric:     engine.MetricCover,
+		Process:    procName,
+		Metric:     metricName,
+		Probes:     probeSpecs,
 		Replicas:   *replicas,
 		Seed:       *seed,
 		MaxRounds:  *budget,
 		Kernel:     kern,
 	}
-	if *walk {
-		spec.Process = engine.ProcWalk
+	if procName == engine.ProcWalk && !replicasSet {
 		// Walks default to -trials replicas; an explicit -replicas wins
 		// (the two flags are mutually exclusive, checked above).
-		if !replicasSet {
-			spec.Replicas = *trials
-		}
+		spec.Replicas = *trials
 	}
 	eng := engine.New(engine.Workers(*workers))
 
 	switch *format {
 	case "jsonl", "csv":
-		// Structured mode runs one sweep; -return selects the metric.
-		if *doReturn {
+		// Structured mode runs one sweep; -return selects the metric when
+		// -metric did not.
+		if *doReturn && spec.Metric == "" {
 			spec.Metric = engine.MetricReturn
 		}
 		var sink engine.Sink
@@ -156,20 +193,46 @@ func run(args []string, out io.Writer) error {
 		_, err := eng.Run(spec, sink)
 		return err
 	case "text":
-		return runText(eng, spec, *doReturn, *walk, out)
+		// Text mode renders the spec's metric; with the legacy -return
+		// flag (and no explicit recurrence metric) the recurrence sweep
+		// runs after the cover sweep, as it always has.
+		addReturn := *doReturn && spec.Metric == ""
+		return runText(eng, spec, addReturn, out)
 	default:
 		return fmt.Errorf("unknown format %q (text|jsonl|csv)", *format)
 	}
 }
 
+// parseProbes parses the -probes flag: comma-separated name:stride pairs.
+func parseProbes(s string) ([]engine.ProbeSpec, error) {
+	if s == "" {
+		return nil, nil
+	}
+	return parseList(s, func(p string) (engine.ProbeSpec, error) {
+		name, strideStr, ok := strings.Cut(p, ":")
+		if !ok {
+			return engine.ProbeSpec{}, fmt.Errorf("-probes: %q (want name:stride)", p)
+		}
+		name = strings.ToLower(name) // match the -process/-metric flags
+
+		stride, err := strconv.ParseInt(strideStr, 10, 64)
+		if err != nil || stride < 1 {
+			return engine.ProbeSpec{}, fmt.Errorf("-probes: bad stride in %q (want a positive integer)", p)
+		}
+		return engine.ProbeSpec{Name: name, Stride: stride}, nil
+	})
+}
+
 // runText renders sweeps human-readably: legacy single-line output for a
-// 1-cell sweep, a summary table otherwise.
-func runText(eng *engine.Engine, spec engine.SweepSpec, doReturn, walk bool, out io.Writer) error {
+// 1-cell sweep, a summary table otherwise. With addReturn the recurrence
+// sweep runs after the cover sweep (the legacy -return behavior).
+func runText(eng *engine.Engine, spec engine.SweepSpec, addReturn bool, out io.Writer) error {
 	cells, err := spec.Cells()
 	if err != nil {
 		return err
 	}
 	single := len(cells) == 1
+	walk := spec.Process == engine.ProcWalk
 	// The per-topology line describes one graph; printing it for the first
 	// of several sizes would misstate the sweep.
 	if len(spec.Sizes) == 1 {
@@ -181,47 +244,50 @@ func runText(eng *engine.Engine, spec engine.SweepSpec, doReturn, walk bool, out
 			g.Name(), g.NumNodes(), g.NumEdges(), g.Diameter())
 	}
 
-	start := time.Now()
-	sum := engine.NewSummarySink()
-	rows, err := eng.Run(spec, sum)
-	if err != nil {
-		return err
-	}
-	// A single configuration fails hard; a grid degrades gracefully and
-	// reports per-cell failures in the summary table instead.
-	if single {
-		if err := firstRowErr(rows); err != nil {
+	if spec.Metric != engine.MetricReturn {
+		start := time.Now()
+		sum := engine.NewSummarySink()
+		rows, err := eng.Run(spec, sum)
+		if err != nil {
 			return err
 		}
-	}
-	elapsed := time.Since(start).Round(time.Millisecond)
+		// A single configuration fails hard; a grid degrades gracefully
+		// and reports per-cell failures in the summary table instead.
+		if single {
+			if err := firstRowErr(rows); err != nil {
+				return err
+			}
+		}
+		elapsed := time.Since(start).Round(time.Millisecond)
 
-	switch {
-	case walk && single:
-		c := sum.Cells()[0]
-		fmt.Fprintf(out, "random walks: k=%d, E[cover] = %.0f ± %.0f rounds (median %.0f, range [%.0f, %.0f], %d trials, %v)\n",
-			c.K, c.Mean, c.StdErr, c.Median, c.Min, c.Max, c.Replicas, elapsed)
-	case single && spec.Replicas == 1:
-		r := rows[0]
-		fmt.Fprintf(out, "rotor-router: k=%d, cover time = %.0f rounds (%v)\n", r.K, r.Value, elapsed)
-	case single:
-		c := sum.Cells()[0]
-		fmt.Fprintf(out, "rotor-router: k=%d, cover time = %.0f ± %.0f rounds (median %.0f, range [%.0f, %.0f], %d replicas, %v)\n",
-			c.K, c.Mean, c.StdErr, c.Median, c.Min, c.Max, c.Replicas, elapsed)
-	default:
-		fmt.Fprintf(out, "sweep: %d cells x %d replicas on %d workers, cover metric (%v)\n",
-			len(cells), spec.Replicas, eng.NumWorkers(), elapsed)
-		if err := sum.WriteTable(out); err != nil {
-			return err
+		switch {
+		case walk && single:
+			c := sum.Cells()[0]
+			fmt.Fprintf(out, "random walks: k=%d, E[cover] = %.0f ± %.0f rounds (median %.0f, range [%.0f, %.0f], %d trials, %v)\n",
+				c.K, c.Mean, c.StdErr, c.Median, c.Min, c.Max, c.Replicas, elapsed)
+		case single && spec.Replicas == 1:
+			r := rows[0]
+			fmt.Fprintf(out, "rotor-router: k=%d, cover time = %.0f rounds (%v)\n", r.K, r.Value, elapsed)
+		case single:
+			c := sum.Cells()[0]
+			fmt.Fprintf(out, "rotor-router: k=%d, cover time = %.0f ± %.0f rounds (median %.0f, range [%.0f, %.0f], %d replicas, %v)\n",
+				c.K, c.Mean, c.StdErr, c.Median, c.Min, c.Max, c.Replicas, elapsed)
+		default:
+			fmt.Fprintf(out, "sweep: %d cells x %d replicas on %d workers, cover metric (%v)\n",
+				len(cells), spec.Replicas, eng.NumWorkers(), elapsed)
+			if err := sum.WriteTable(out); err != nil {
+				return err
+			}
+		}
+		if !addReturn {
+			return nil
 		}
 	}
 
-	if !doReturn {
-		return nil
-	}
 	retSpec := spec
 	retSpec.Metric = engine.MetricReturn
-	start = time.Now()
+	retSpec.Probes = nil // probes require the cover metric
+	start := time.Now()
 	retSum := engine.NewSummarySink()
 	retRows, err := eng.Run(retSpec, retSum)
 	if err != nil {
@@ -232,7 +298,7 @@ func runText(eng *engine.Engine, spec engine.SweepSpec, doReturn, walk bool, out
 			return fmt.Errorf("return time: %w", err)
 		}
 	}
-	elapsed = time.Since(start).Round(time.Millisecond)
+	elapsed := time.Since(start).Round(time.Millisecond)
 	switch {
 	case walk && single:
 		// The walk has no limit cycle; its recurrence measure is the mean

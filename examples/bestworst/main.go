@@ -1,10 +1,13 @@
 // Bestworst: a placement-sensitivity study on the ring — the core message
 // of the paper's Table 1. The same k agents cover the same ring between
 // Θ(n²/k²) and Θ(n²/log k) rounds depending only on where they start and
-// how the adversary set the pointers.
+// how the adversary set the pointers. A streaming coverage probe samples
+// the best case's coverage curve along the way.
 package main
 
 import (
+	"context"
+	"flag"
 	"fmt"
 	"log"
 	"os"
@@ -14,44 +17,55 @@ import (
 )
 
 func main() {
-	const (
-		n = 2048
-		k = 16
-	)
-	g := rotorring.Ring(n)
+	n := flag.Int("n", 2048, "ring size")
+	k := flag.Int("k", 16, "number of agents")
+	flag.Parse()
+
+	g := rotorring.Ring(*n)
+	ctx := context.Background()
 
 	type scenario struct {
 		name      string
 		placement rotorring.PlacementPolicy
 		pointers  rotorring.PointerPolicy
 		predicted float64
+		best      bool
 	}
 	scenarios := []scenario{
 		{"worst: one node, pointers toward start", rotorring.PlaceSingleNode,
-			rotorring.PointerTowardStart, rotorring.PredictRotorWorstCover(n, k)},
+			rotorring.PointerTowardStart, rotorring.PredictRotorWorstCover(*n, *k), false},
 		{"one node, neutral pointers", rotorring.PlaceSingleNode,
-			rotorring.PointerZero, rotorring.PredictRotorWorstCover(n, k)},
+			rotorring.PointerZero, rotorring.PredictRotorWorstCover(*n, *k), false},
 		{"random placement, negative pointers", rotorring.PlaceRandom,
-			rotorring.PointerNegative, 0},
+			rotorring.PointerNegative, 0, false},
 		{"best: equal spacing, negative pointers", rotorring.PlaceEqualSpacing,
-			rotorring.PointerNegative, rotorring.PredictRotorBestCover(n, k)},
+			rotorring.PointerNegative, rotorring.PredictRotorBestCover(*n, *k), true},
 		{"equal spacing, neutral pointers", rotorring.PlaceEqualSpacing,
-			rotorring.PointerZero, rotorring.PredictRotorBestCover(n, k)},
+			rotorring.PointerZero, rotorring.PredictRotorBestCover(*n, *k), false},
 	}
 
-	fmt.Printf("cover time of %d rotor-router agents on the %d-node ring\n\n", k, n)
+	fmt.Printf("cover time of %d rotor-router agents on the %d-node ring\n\n", *k, *n)
+	var bestCurve *rotorring.RecordedObserver
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "scenario\tcover time\tΘ-shape\tratio")
 	for _, sc := range scenarios {
-		sim, err := rotorring.NewRotorSim(g,
-			rotorring.Agents(k),
+		sim, err := rotorring.New(g, rotorring.RotorRouter(),
+			rotorring.Agents(*k),
 			rotorring.Place(sc.placement),
 			rotorring.Pointers(sc.pointers),
 			rotorring.Seed(5))
 		if err != nil {
 			log.Fatal(err)
 		}
-		cover, err := sim.CoverTime(0)
+		var obs []rotorring.Observer
+		if sc.best {
+			bestCurve, err = rotorring.CoverageProbe(int64(*n / 4))
+			if err != nil {
+				log.Fatal(err)
+			}
+			obs = append(obs, bestCurve)
+		}
+		cover, err := rotorring.CoverTimeContext(ctx, sim, 0, obs...)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -66,6 +80,11 @@ func main() {
 		log.Fatal(err)
 	}
 
+	fmt.Printf("\ncoverage curve of the best case (sampled every %d rounds):\n", *n/4)
+	for _, pt := range bestCurve.Points() {
+		fmt.Printf("  round %6d: %4.0f/%d nodes\n", pt.Round, pt.Value, *n)
+	}
+
 	fmt.Printf("\nspread between best and worst initialization: Θ(k²/log k) ≈ %.0fx at k=%d\n",
-		float64(k*k)/rotorring.HarmonicNumber(k), k)
+		float64(*k**k)/rotorring.HarmonicNumber(*k), *k)
 }

@@ -4,11 +4,15 @@
 // with near-perfect regularity, while random-walk routing shows √t-scale
 // fluctuations.
 //
-// We circulate the same number of tokens under both disciplines on a torus
-// and compare how evenly the cumulative work (visits) spreads over nodes.
+// We circulate the same number of tokens under both disciplines on a
+// torus and compare how evenly the cumulative work (visits) spreads over
+// nodes. The Process interface makes the comparison one loop: both
+// processes are constructed, run and inspected through the same surface.
 package main
 
 import (
+	"context"
+	"flag"
 	"fmt"
 	"log"
 
@@ -16,41 +20,40 @@ import (
 )
 
 func main() {
-	const (
-		side   = 16 // torus side (256 nodes)
-		tokens = 64
-		rounds = 20000
-	)
-	g := rotorring.Torus2D(side, side)
+	side := flag.Int("side", 16, "torus side length")
+	tokens := flag.Int("tokens", 64, "circulating tokens")
+	rounds := flag.Int64("rounds", 20000, "rounds to run")
+	flag.Parse()
+
+	g := rotorring.Torus2D(*side, *side)
 	n := g.NumNodes()
-
-	rotor, err := rotorring.NewRotorSim(g,
-		rotorring.Agents(tokens),
-		rotorring.Place(rotorring.PlaceRandom),
-		rotorring.Pointers(rotorring.PointerRandom),
-		rotorring.Seed(11))
-	if err != nil {
-		log.Fatal(err)
-	}
-	rotor.Run(rounds)
-
-	walk, err := rotorring.NewWalkSim(g,
-		rotorring.Agents(tokens),
-		rotorring.Place(rotorring.PlaceRandom),
-		rotorring.Seed(11))
-	if err != nil {
-		log.Fatal(err)
-	}
-	walk.Run(rounds)
+	ctx := context.Background()
 
 	fmt.Printf("%d tokens on a %dx%d torus for %d rounds (mean visits/node = %.0f)\n\n",
-		tokens, side, side, rounds, float64(tokens)*float64(rounds)/float64(n))
+		*tokens, *side, *side, *rounds, float64(*tokens)*float64(*rounds)/float64(n))
 
-	report := func(name string, visits func(v int) int64) {
-		min, max := visits(0), visits(0)
+	for _, kind := range []struct {
+		name string
+		k    rotorring.ProcessKind
+	}{
+		{"rotor-router", rotorring.RotorRouter()},
+		{"random walks", rotorring.RandomWalk()},
+	} {
+		p, err := rotorring.New(g, kind.k,
+			rotorring.Agents(*tokens),
+			rotorring.Place(rotorring.PlaceRandom),
+			rotorring.Pointers(rotorring.PointerRandom),
+			rotorring.Seed(11))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := rotorring.RunContext(ctx, p, *rounds); err != nil {
+			log.Fatal(err)
+		}
+		min, max := p.Visits(0), p.Visits(0)
 		var sum int64
 		for v := 0; v < n; v++ {
-			c := visits(v)
+			c := p.Visits(v)
 			sum += c
 			if c < min {
 				min = c
@@ -61,10 +64,8 @@ func main() {
 		}
 		mean := float64(sum) / float64(n)
 		fmt.Printf("%-13s visits per node: min %6d, max %6d, spread %5d (%.2f%% of mean)\n",
-			name, min, max, max-min, 100*float64(max-min)/mean)
+			kind.name, min, max, max-min, 100*float64(max-min)/mean)
 	}
-	report("rotor-router", rotor.Visits)
-	report("random walks", walk.Visits)
 
 	fmt.Printf("\nthe rotor-router's discrepancy stays O(1)-per-round bounded (Cooper–Spencer);\n")
 	fmt.Printf("independent walks accumulate diffusive fluctuations.\n")

@@ -6,10 +6,13 @@
 // stabilization every station is revisited every Θ(n/k) rounds, whatever
 // the initial placement (Theorem 6). Random walkers only promise n/k in
 // expectation: their worst observed idle times are far larger and
-// unbounded in the limit. This example measures both.
+// unbounded in the limit. This example measures both through the unified
+// Process API, asserting each process's recurrence capability.
 package main
 
 import (
+	"context"
+	"flag"
 	"fmt"
 	"log"
 
@@ -17,13 +20,14 @@ import (
 )
 
 func main() {
-	const (
-		n = 512 // stations on the perimeter
-		k = 8   // patrol agents
-	)
-	g := rotorring.Ring(n)
+	n := flag.Int("n", 512, "stations on the perimeter")
+	k := flag.Int("k", 8, "patrol agents")
+	flag.Parse()
+
+	g := rotorring.Ring(*n)
+	ctx := context.Background()
 	fmt.Printf("patrolling a %d-station perimeter with %d agents (ideal revisit interval n/k = %d)\n\n",
-		n, k, n/k)
+		*n, *k, *n / *k)
 
 	// Deterministic patrol. Start from the worst placement to show the
 	// guarantee is initialization-independent.
@@ -34,14 +38,14 @@ func main() {
 		{"all agents at one gate", rotorring.PlaceSingleNode},
 		{"agents spread evenly", rotorring.PlaceEqualSpacing},
 	} {
-		sim, err := rotorring.NewRotorSim(g,
-			rotorring.Agents(k),
+		sim, err := rotorring.New(g, rotorring.RotorRouter(),
+			rotorring.Agents(*k),
 			rotorring.Place(placement.p),
 			rotorring.Pointers(rotorring.PointerZero))
 		if err != nil {
 			log.Fatal(err)
 		}
-		ret, err := sim.ReturnTime(0)
+		ret, err := rotorring.ReturnTimeContext(ctx, sim, 0)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -49,17 +53,19 @@ func main() {
 			placement.name+":", ret.ReturnTime, ret.MeanGap, ret.Period)
 	}
 
-	// Randomized patrol: long-run observation window.
-	walk, err := rotorring.NewWalkSim(g,
-		rotorring.Agents(k),
+	// Randomized patrol: long-run observation window. Gap measurement is a
+	// *WalkSim capability.
+	p, err := rotorring.New(g, rotorring.RandomWalk(),
+		rotorring.Agents(*k),
 		rotorring.Place(rotorring.PlaceEqualSpacing),
 		rotorring.Seed(7))
 	if err != nil {
 		log.Fatal(err)
 	}
-	gs := walk.MeasureGaps(10*n, 400*n)
+	window := int64(400 * *n)
+	gs := p.(*rotorring.WalkSim).MeasureGaps(int64(10**n), window)
 	fmt.Printf("\nrandom walks over %d rounds:          worst idle %4d rounds, mean idle %6.1f\n",
-		400*n, gs.MaxGap, gs.MeanGap)
+		window, gs.MaxGap, gs.MeanGap)
 
 	fmt.Printf("\nthe deterministic patrol bounds every idle interval; the randomized patrol's\n")
 	fmt.Printf("mean matches n/k but its worst case drifts upward with the observation window.\n")

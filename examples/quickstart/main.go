@@ -1,9 +1,13 @@
 // Quickstart: simulate the multi-agent rotor-router on the ring and
 // compare it with parallel random walks — the paper's Table 1 in
-// miniature.
+// miniature, written against the unified Process API: both processes are
+// constructed with rotorring.New and measured through the same
+// context-aware runners.
 package main
 
 import (
+	"context"
+	"flag"
 	"fmt"
 	"log"
 
@@ -11,50 +15,55 @@ import (
 )
 
 func main() {
-	const (
-		n = 1024 // ring size
-		k = 8    // number of agents
-	)
-	g := rotorring.Ring(n)
+	n := flag.Int("n", 1024, "ring size")
+	k := flag.Int("k", 8, "number of agents")
+	trials := flag.Int("trials", 16, "random-walk trials for the expectation estimate")
+	flag.Parse()
+
+	g := rotorring.Ring(*n)
+	ctx := context.Background()
 
 	// Deterministic rotor-router, best-case placement (equally spaced)
 	// against adversarial "negative" pointers.
-	sim, err := rotorring.NewRotorSim(g,
-		rotorring.Agents(k),
+	rotor, err := rotorring.New(g, rotorring.RotorRouter(),
+		rotorring.Agents(*k),
 		rotorring.Place(rotorring.PlaceEqualSpacing),
 		rotorring.Pointers(rotorring.PointerNegative))
 	if err != nil {
 		log.Fatal(err)
 	}
-	cover, err := sim.CoverTime(0)
+	cover, err := rotorring.CoverTimeContext(ctx, rotor, 0) // 0 = automatic budget
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("rotor-router  cover time: %6d rounds  (Θ((n/k)²) = %.0f)\n",
-		cover, rotorring.PredictRotorBestCover(n, k))
+		cover, rotorring.PredictRotorBestCover(*n, *k))
 
 	// After stabilization, every node is revisited every Θ(n/k) rounds —
-	// a deterministic patrolling guarantee (Theorem 6).
-	ret, err := sim.ReturnTime(0)
+	// a deterministic patrolling guarantee (Theorem 6). Return-time
+	// measurement is a capability of the rotor process; the free function
+	// asserts it.
+	ret, err := rotorring.ReturnTimeContext(ctx, rotor, 0)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("rotor-router return time: %6d rounds  (Θ(n/k) = %.0f, limit period %d)\n",
-		ret.ReturnTime, rotorring.PredictReturnTime(n, k), ret.Period)
+		ret.ReturnTime, rotorring.PredictReturnTime(*n, *k), ret.Period)
 
 	// The randomized baseline: k independent random walks from the same
-	// placement. Its cover time carries an extra log²k factor.
-	walk, err := rotorring.NewWalkSim(g,
-		rotorring.Agents(k),
+	// placement. Its cover time carries an extra log²k factor. The trial
+	// estimator is a *WalkSim capability behind the same constructor.
+	p, err := rotorring.New(g, rotorring.RandomWalk(),
+		rotorring.Agents(*k),
 		rotorring.Place(rotorring.PlaceEqualSpacing),
 		rotorring.Seed(42))
 	if err != nil {
 		log.Fatal(err)
 	}
-	sum, err := walk.ExpectedCoverTime(16, 0)
+	sum, err := p.(*rotorring.WalkSim).ExpectedCoverTime(*trials, 0)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("random walks  E[cover]:   %6.0f ± %.0f     (Θ((n/k)²·log²k) = %.0f)\n",
-		sum.Mean, sum.StdErr, rotorring.PredictWalkBestCover(n, k))
+		sum.Mean, sum.StdErr, rotorring.PredictWalkBestCover(*n, *k))
 }

@@ -19,6 +19,20 @@ import (
 // cycle is confirmed.
 var ErrNoCycle = errors.New("core: limit cycle not found within round budget")
 
+// ErrStopped is returned by the *Stop measurement variants when the
+// caller's stop check fires before the measurement completes.
+var ErrStopped = errors.New("core: measurement stopped")
+
+// stopStride is how many steps the *Stop variants run between stop checks:
+// cancellation stays amortized so the hot stepping loop is not branched
+// per round, while a pending stop is still honored promptly.
+const stopStride = 4096
+
+// stopped polls an optional stop check every stopStride steps.
+func stopped(stop func() bool, steps int64) bool {
+	return stop != nil && steps%stopStride == 0 && stop()
+}
+
 // LimitCycle describes the detected limit behavior.
 type LimitCycle struct {
 	// Period is the length λ of the limit cycle in rounds.
@@ -37,6 +51,14 @@ type LimitCycle struct {
 // stabilization round μ is computed with a second pass over a pristine
 // copy of the initial configuration (costing about 2μ extra steps).
 func FindLimitCycle(s *System, maxRounds int64, computeMu bool) (*LimitCycle, error) {
+	return FindLimitCycleStop(s, maxRounds, computeMu, nil)
+}
+
+// FindLimitCycleStop is FindLimitCycle with a cooperative cancellation
+// hook: stop (when non-nil) is polled every stopStride steps, and a true
+// result aborts the search with an error wrapping ErrStopped. Context
+// plumbing lives in the callers; core stays context-free.
+func FindLimitCycleStop(s *System, maxRounds int64, computeMu bool, stop func() bool) (*LimitCycle, error) {
 	// Cycle detection needs the configuration hash every round; switch it
 	// on before snapshotting so every clone inherits it (tier 2: systems
 	// that never detect cycles never pay for hashing).
@@ -60,6 +82,9 @@ func FindLimitCycle(s *System, maxRounds int64, computeMu bool) (*LimitCycle, er
 		if s.st.Round-start >= maxRounds {
 			return nil, fmt.Errorf("%w (ran %d rounds)", ErrNoCycle, s.st.Round-start)
 		}
+		if stopped(stop, s.st.Round-start) {
+			return nil, fmt.Errorf("%w during cycle search (after %d rounds)", ErrStopped, s.st.Round-start)
+		}
 		s.Step()
 		lam++
 		if s.st.Hash == tortoise.st.Hash && s.StateEqual(tortoise) {
@@ -69,7 +94,7 @@ func FindLimitCycle(s *System, maxRounds int64, computeMu bool) (*LimitCycle, er
 
 	lc := &LimitCycle{Period: lam, StabilizationRound: -1, DetectedAt: s.st.Round}
 	if computeMu {
-		mu, err := findMu(initial, lam, maxRounds)
+		mu, err := findMu(initial, lam, maxRounds, stop)
 		if err != nil {
 			return nil, err
 		}
@@ -80,13 +105,16 @@ func FindLimitCycle(s *System, maxRounds int64, computeMu bool) (*LimitCycle, er
 
 // findMu advances a pair of copies of the initial configuration, offset by
 // the period, until they coincide; the number of rounds taken is μ.
-func findMu(initial *System, period, maxRounds int64) (int64, error) {
+func findMu(initial *System, period, maxRounds int64, stop func() bool) (int64, error) {
 	lead := initial.Clone()
 	lead.Run(period)
 	mu := int64(0)
 	for !(initial.st.Hash == lead.st.Hash && initial.StateEqual(lead)) {
 		if mu > maxRounds {
 			return 0, fmt.Errorf("%w (μ search exceeded %d rounds)", ErrNoCycle, maxRounds)
+		}
+		if stopped(stop, mu) {
+			return 0, fmt.Errorf("%w during μ search (after %d rounds)", ErrStopped, mu)
 		}
 		initial.Step()
 		lead.Step()
@@ -115,7 +143,15 @@ type ReturnStats struct {
 // MeasureReturnTime finds the limit cycle of s and measures the exact
 // return time over one full period. On return s is parked inside the cycle.
 func MeasureReturnTime(s *System, maxRounds int64) (*ReturnStats, error) {
-	lc, err := FindLimitCycle(s, maxRounds, false)
+	return MeasureReturnTimeStop(s, maxRounds, nil)
+}
+
+// MeasureReturnTimeStop is MeasureReturnTime with a cooperative
+// cancellation hook, polled every stopStride steps of both the cycle
+// search and the period measurement; a true result aborts with an error
+// wrapping ErrStopped.
+func MeasureReturnTimeStop(s *System, maxRounds int64, stop func() bool) (*ReturnStats, error) {
+	lc, err := FindLimitCycleStop(s, maxRounds, false, stop)
 	if err != nil {
 		return nil, err
 	}
@@ -128,6 +164,9 @@ func MeasureReturnTime(s *System, maxRounds int64) (*ReturnStats, error) {
 		first[v] = -1
 	}
 	for t := int64(1); t <= lc.Period; t++ {
+		if stopped(stop, t) {
+			return nil, fmt.Errorf("%w during period measurement (round %d of %d)", ErrStopped, t, lc.Period)
+		}
 		s.Step()
 		for _, v := range s.LastVisited() {
 			if first[v] < 0 {

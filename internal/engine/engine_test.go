@@ -45,8 +45,8 @@ func runToBytes(t *testing.T, e *Engine, spec SweepSpec) ([]Row, []byte, []byte)
 // and identical row sequences — no seed may depend on scheduling, and no
 // map-iteration order may leak into the stream.
 func TestDeterminismAcrossWorkers(t *testing.T) {
-	for _, proc := range []Process{ProcRotor, ProcWalk} {
-		for _, metric := range []Metric{MetricCover, MetricReturn} {
+	for _, proc := range []string{ProcRotor, ProcWalk} {
+		for _, metric := range []string{MetricCover, MetricReturn} {
 			t.Run(fmt.Sprintf("%s_%s", proc, metric), func(t *testing.T) {
 				spec := randomizedSpec()
 				spec.Process = proc

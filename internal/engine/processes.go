@@ -1,0 +1,211 @@
+package engine
+
+import (
+	"fmt"
+
+	"rotorring/internal/core"
+	"rotorring/internal/randwalk"
+	"rotorring/internal/ringdom"
+	"rotorring/probe"
+)
+
+// This file registers the paper's two processes (rotor, walk) and two
+// metrics (cover, return) with the registry. They are ordinary registry
+// entries: a third process or metric registers the same way, from any
+// package, without touching the engine.
+
+func init() {
+	RegisterProcess(&ProcessDef{
+		Name:           ProcRotor,
+		UsesPointers:   true,
+		BudgetHeadroom: 1,
+		New:            newRotorProc,
+	})
+	RegisterProcess(&ProcessDef{
+		Name:           ProcWalk,
+		Randomized:     true,
+		BudgetHeadroom: 4,
+		New:            newWalkProc,
+	})
+	RegisterMetric(&MetricDef{
+		Name:           MetricCover,
+		BudgetHeadroom: 1,
+		Measure:        measureCover,
+	})
+	RegisterMetric(&MetricDef{
+		Name:           MetricReturn,
+		BudgetHeadroom: 4,
+		Measure:        measureReturn,
+	})
+}
+
+// rotorProc adapts core.System to the registry's Proc surface.
+type rotorProc struct {
+	sys *core.System
+}
+
+func newRotorProc(env *JobEnv) (Proc, error) {
+	pointers, err := initialPointers(env.Cell, env.Graph, env.Positions, env.RNG)
+	if err != nil {
+		return nil, err
+	}
+	sys, err := core.NewSystem(env.Graph,
+		core.WithAgentsAt(env.Positions...),
+		core.WithPointers(pointers),
+		core.WithKernelMode(kernelMode(env.Kernel)))
+	if err != nil {
+		return nil, err
+	}
+	return &rotorProc{sys: sys}, nil
+}
+
+func (p *rotorProc) Step()            { p.sys.Step() }
+func (p *rotorProc) Round() int64     { return p.sys.Round() }
+func (p *rotorProc) Covered() int     { return p.sys.Covered() }
+func (p *rotorProc) Reset()           { p.sys.Reset() }
+func (p *rotorProc) Positions() []int { return p.sys.Positions() }
+
+func (p *rotorProc) RunUntilCovered(maxRounds int64) (int64, error) {
+	return p.sys.RunUntilCovered(maxRounds)
+}
+
+// NumDomains implements probe.DomainCounter for the domain-count probe.
+func (p *rotorProc) NumDomains() (int, error) {
+	part, err := ringdom.Domains(p.sys)
+	if err != nil {
+		return 0, err
+	}
+	return len(part.Domains), nil
+}
+
+// MeasureReturn implements ReturnMeasurer: locate the limit cycle and
+// measure the exact return time over one period (Theorem 6). With preserve
+// set the measurement runs on a clone so the worker's cached prototype
+// stays reusable for the next replica.
+func (p *rotorProc) MeasureReturn(budget int64, preserve bool) (ReturnOutcome, error) {
+	sys := p.sys
+	if preserve {
+		sys = sys.Clone()
+	}
+	rs, err := core.MeasureReturnTime(sys, budget)
+	if err != nil {
+		return ReturnOutcome{Rounds: sys.Round()}, err
+	}
+	return ReturnOutcome{
+		Value:     float64(rs.ReturnTime),
+		Period:    rs.Period,
+		MinVisits: rs.MinNodeVisits,
+		MaxVisits: rs.MaxNodeVisits,
+		Rounds:    sys.Round(),
+	}, nil
+}
+
+// walkProc adapts randwalk.Walk to the registry's Proc surface.
+type walkProc struct {
+	w *randwalk.Walk
+	n int
+	k int
+}
+
+func newWalkProc(env *JobEnv) (Proc, error) {
+	w, err := randwalk.New(env.Graph, env.Positions, env.RNG,
+		randwalk.WithMode(walkMode(env.Kernel)))
+	if err != nil {
+		return nil, err
+	}
+	return &walkProc{w: w, n: env.Graph.NumNodes(), k: env.Cell.K}, nil
+}
+
+func (p *walkProc) Step()              { p.w.Step() }
+func (p *walkProc) Round() int64       { return p.w.Round() }
+func (p *walkProc) Covered() int       { return p.w.Covered() }
+func (p *walkProc) Reset()             { p.w.Reset() }
+func (p *walkProc) Positions() []int   { return p.w.Positions() }
+func (p *walkProc) Reseed(seed uint64) { p.w.Reseed(seed) }
+
+func (p *walkProc) RunUntilCovered(maxRounds int64) (int64, error) {
+	return p.w.RunUntilCovered(maxRounds)
+}
+
+// MeasureReturn implements ReturnMeasurer: the walk has no limit cycle, so
+// its recurrence measure is the mean inter-visit gap over a long window
+// (expectation n/k on the ring — the paper's closing comparison), with the
+// worst observed gap reported as the period analogue.
+func (p *walkProc) MeasureReturn(int64, bool) (ReturnOutcome, error) {
+	n := int64(p.n)
+	span := n / int64(p.k)
+	if span < 1 {
+		span = 1
+	}
+	// The window must dominate the (n/k)^2 diffusive scale or nodes
+	// between two walkers can stay unvisited all window.
+	burnIn, window := 10*n, 50*span*span+200*n
+	gs := p.w.MeasureGaps(burnIn, window)
+	return ReturnOutcome{Value: gs.MeanGap, Period: gs.MaxGap, Rounds: p.w.Round()}, nil
+}
+
+// measureCover is the cover metric: run until every node is visited within
+// the budget. Unobserved jobs run the hot kernel loop in one call; observed
+// jobs run it in chunks bounded by the next probe sample, so stride
+// sampling never adds a per-round branch.
+func measureCover(p Proc, env *JobEnv, budget int64, row *Row) {
+	cr, ok := p.(CoverRunner)
+	if !ok {
+		row.Err = fmt.Sprintf("engine: process %q does not measure %q", row.Process, MetricCover)
+		return
+	}
+	if len(env.Probes) == 0 {
+		cover, err := cr.RunUntilCovered(budget)
+		row.Rounds = p.Round()
+		if err != nil {
+			row.Err = err.Error()
+			return
+		}
+		row.Value = float64(cover)
+		return
+	}
+
+	runner := probe.NewRunner(env.Probes...)
+	emit := func(pt probe.Point) { row.Series = append(row.Series, pt) }
+	runner.Observe(p, emit) // sample the initial configuration (round 0)
+	for {
+		next := runner.Next(p.Round())
+		if next > budget {
+			next = budget
+		}
+		cover, err := cr.RunUntilCovered(next)
+		if err == nil {
+			row.Rounds = p.Round()
+			row.Value = float64(cover)
+			runner.Flush(p, emit) // close the series at the cover round
+			return
+		}
+		if p.Round() >= budget {
+			row.Rounds = p.Round()
+			row.Err = err.Error()
+			runner.Flush(p, emit)
+			return
+		}
+		runner.Observe(p, emit)
+	}
+}
+
+// measureReturn is the recurrence metric, dispatched through the
+// ReturnMeasurer capability.
+func measureReturn(p Proc, env *JobEnv, budget int64, row *Row) {
+	rm, ok := p.(ReturnMeasurer)
+	if !ok {
+		row.Err = fmt.Sprintf("engine: process %q does not measure %q", row.Process, MetricReturn)
+		return
+	}
+	out, err := rm.MeasureReturn(budget, env.Preserve)
+	row.Rounds = out.Rounds
+	if err != nil {
+		row.Err = err.Error()
+		return
+	}
+	row.Value = out.Value
+	row.Period = out.Period
+	row.MinVisits = out.MinVisits
+	row.MaxVisits = out.MaxVisits
+}

@@ -7,6 +7,7 @@ import (
 	"rotorring/internal/graph"
 	"rotorring/internal/randwalk"
 	"rotorring/internal/xrand"
+	"rotorring/probe"
 )
 
 // graphKey identifies one constructed topology in the worker's cache.
@@ -16,24 +17,23 @@ type graphKey struct {
 }
 
 // worker holds the per-goroutine reusable state: a topology cache and the
-// prototype System (or Walk) of the last deterministic cell it ran, which
-// subsequent replicas of the same cell reuse via Reset — plus Reseed for
-// walks — instead of reallocating per trial (or run on a Clone when the
-// measurement must not disturb the prototype). Workers never share mutable
-// state, so the hot step loops run without locks, and the simulators'
-// internal scratch buffers keep them allocation-free across rounds.
+// prototype process instance of the last deterministic cell it ran, which
+// subsequent replicas of the same cell reuse via Reset (plus Reseed for
+// randomized processes) instead of reallocating per trial — or run on a
+// clone when the measurement must not disturb the prototype. Workers never
+// share mutable state, so the hot step loops run without locks, and the
+// simulators' internal scratch buffers keep them allocation-free across
+// rounds.
 type worker struct {
 	graphs map[graphKey]*graph.Graph
 
-	protoCell int // cell index the cached prototype was built for
-	proto     *core.System
-
-	protoWalkCell int // cell index the cached walk was built for
-	protoWalk     *randwalk.Walk
+	protoCell int    // cell index the cached prototype was built for
+	protoName string // process name the cached prototype runs
+	proto     Proc
 }
 
 func newWorker() *worker {
-	return &worker{graphs: make(map[graphKey]*graph.Graph), protoCell: -1, protoWalkCell: -1}
+	return &worker{graphs: make(map[graphKey]*graph.Graph), protoCell: -1}
 }
 
 // kernelMode maps the sweep-level kernel selection to the rotor engine's.
@@ -76,10 +76,12 @@ func (w *worker) graph(c Cell) (*graph.Graph, error) {
 	return g, nil
 }
 
-// CoverBudget is the library's automatic round budget for cover-time runs:
-// comfortably above the worst case Theta(n^2) of any ring initialization
-// (and of Theta(D*|E|) lock-in at the scales this library targets). The
-// root package's simulations and the sweep engine share this one formula.
+// CoverBudget is the library's deterministic automatic round budget for
+// cover-time runs: comfortably above the worst case Theta(n^2) of any ring
+// initialization (and of Theta(D*|E|) lock-in at the scales this library
+// targets). AutoBudget layers the per-process / per-metric headroom
+// factors on top; the root package's simulations and the sweep engine
+// share those two formulas and nothing else.
 func CoverBudget(g *graph.Graph) int64 {
 	b := 16 * int64(g.NumNodes()) * int64(g.NumEdges())
 	if min := int64(1 << 20); b < min {
@@ -88,40 +90,39 @@ func CoverBudget(g *graph.Graph) int64 {
 	return b
 }
 
-// budget returns the round budget for one job.
+// budget returns the round budget for one job: the explicit MaxRounds, or
+// the registry's automatic rule.
 func budget(spec *SweepSpec, g *graph.Graph) int64 {
 	if spec.MaxRounds > 0 {
 		return spec.MaxRounds
 	}
-	b := CoverBudget(g)
-	if spec.Metric == MetricReturn || spec.Process == ProcWalk {
-		// Limit-cycle location and randomized trials need headroom over
-		// the deterministic cover bound.
-		b *= 4
-	}
-	return b
+	return AutoBudget(g, spec.Process, spec.Metric)
 }
 
 // baseRow fills the identity columns of one job's row.
-func baseRow(spec *SweepSpec, c Cell, replica int, seed uint64) Row {
+func baseRow(spec *SweepSpec, def *ProcessDef, c Cell, replica int, seed uint64) Row {
 	r := Row{
 		Cell:      c,
 		Placement: c.Placement.String(),
-		Process:   spec.Process.String(),
-		Metric:    spec.Metric.String(),
+		Process:   spec.Process,
+		Metric:    spec.Metric,
 		Replica:   replica,
 		Seed:      seed,
 	}
-	if spec.Process == ProcRotor {
+	if def.UsesPointers {
 		r.Pointer = c.Pointer.String()
 	}
 	return r
 }
 
-// runJob executes one replica of one cell.
+// runJob executes one replica of one cell: resolve the placement, build
+// (or reuse) the named process instance, and run the named metric on it.
 func (w *worker) runJob(spec *SweepSpec, c Cell, replica int) Row {
 	seed := jobSeed(spec.Seed, c, replica)
-	row := baseRow(spec, c, replica, seed)
+	// The spec was validated by withDefaults before any worker started.
+	def, _ := LookupProcess(spec.Process)
+	met, _ := LookupMetric(spec.Metric)
+	row := baseRow(spec, def, c, replica, seed)
 	g, err := w.graph(c)
 	if err != nil {
 		row.Err = err.Error()
@@ -129,8 +130,8 @@ func (w *worker) runJob(spec *SweepSpec, c Cell, replica int) Row {
 	}
 
 	// A cell is deterministic when no part of its configuration depends on
-	// the replica seed; its prototype System can then be reused across the
-	// replicas this worker receives.
+	// the replica seed; its prototype instance can then be reused across
+	// the replicas this worker receives.
 	deterministic := c.Placement != PlaceRandom && c.Pointer != PtrRandom
 	rng := xrand.New(seed)
 
@@ -140,39 +141,67 @@ func (w *worker) runJob(spec *SweepSpec, c Cell, replica int) Row {
 		return row
 	}
 
-	if spec.Process == ProcWalk {
-		w.measureWalk(spec, g, c, positions, deterministic, seed, rng, &row)
-		return row
+	env := &JobEnv{
+		Graph:     g,
+		Cell:      c,
+		Positions: positions,
+		Seed:      seed,
+		RNG:       rng,
+		Kernel:    spec.Kernel,
+		Preserve:  deterministic && spec.Replicas > 1,
+	}
+	if len(spec.Probes) > 0 {
+		env.Probes, err = buildProbes(spec.Probes, g.NumNodes())
+		if err != nil {
+			row.Err = err.Error()
+			return row
+		}
 	}
 
-	var sys *core.System
-	if deterministic && w.protoCell == c.Index && w.proto != nil {
-		sys = w.proto
-		sys.Reset()
+	var p Proc
+	if deterministic && w.protoCell == c.Index && w.protoName == spec.Process && w.proto != nil {
+		p = w.proto
+		// Randomized processes rewind their generator to the replica's
+		// deterministic state before the reuse; deterministic ones have
+		// nothing to rewind.
+		if r, ok := p.(Reseeder); ok {
+			r.Reseed(seed)
+		}
+		p.Reset()
 	} else {
-		pointers, err := initialPointers(c, g, positions, rng)
+		p, err = def.New(env)
 		if err != nil {
 			row.Err = err.Error()
 			return row
 		}
-		sys, err = core.NewSystem(g,
-			core.WithAgentsAt(positions...),
-			core.WithPointers(pointers),
-			core.WithKernelMode(kernelMode(spec.Kernel)))
-		if err != nil {
-			row.Err = err.Error()
-			return row
-		}
-		if deterministic {
-			w.protoCell = c.Index
-			w.proto = sys
+		// Cache only instances whose reuse is equivalent to a fresh build:
+		// a randomized process must implement Reseeder, or the next replica
+		// would continue this replica's random stream — whose content
+		// depends on which worker ran it, breaking the engine's
+		// worker-count determinism contract.
+		_, reseeds := p.(Reseeder)
+		if deterministic && (!def.Randomized || reseeds) {
+			w.protoCell, w.protoName, w.proto = c.Index, spec.Process, p
 		} else {
-			w.protoCell = -1
-			w.proto = nil
+			w.protoCell, w.protoName, w.proto = -1, "", nil
 		}
 	}
-	measureRotor(spec, sys, deterministic && spec.Replicas > 1, &row)
+
+	met.Measure(p, env, budget(spec, g), &row)
 	return row
+}
+
+// buildProbes instantiates the spec's probes for one job.
+func buildProbes(specs []ProbeSpec, nodes int) ([]probe.Probe, error) {
+	probes := make([]probe.Probe, 0, len(specs))
+	for _, ps := range specs {
+		p, err := probe.New(ps.Name, probe.Env{Stride: ps.Stride, Nodes: nodes})
+		if err != nil {
+			return nil, err
+		}
+		probes = append(probes, p)
+	}
+	return probes, nil
 }
 
 // placePositions computes the initial agent positions of one job.
@@ -203,88 +232,6 @@ func initialPointers(c Cell, g *graph.Graph, positions []int, rng *xrand.Rand) (
 		return core.PointersRandom(g, rng), nil
 	default:
 		return nil, errInvalid("pointer policy", int(c.Pointer))
-	}
-}
-
-// measureRotor runs the cell's metric on sys and fills the row. When
-// preserve is set, a mutating metric runs on a Clone so the caller's
-// prototype stays reusable for the next replica.
-func measureRotor(spec *SweepSpec, sys *core.System, preserve bool, row *Row) {
-	b := budget(spec, sys.Graph())
-	switch spec.Metric {
-	case MetricCover:
-		cover, err := sys.RunUntilCovered(b)
-		row.Rounds = sys.Round()
-		if err != nil {
-			row.Err = err.Error()
-			return
-		}
-		row.Value = float64(cover)
-	case MetricReturn:
-		if preserve {
-			sys = sys.Clone()
-		}
-		rs, err := core.MeasureReturnTime(sys, b)
-		row.Rounds = sys.Round()
-		if err != nil {
-			row.Err = err.Error()
-			return
-		}
-		row.Value = float64(rs.ReturnTime)
-		row.Period = rs.Period
-		row.MinVisits = rs.MinNodeVisits
-		row.MaxVisits = rs.MaxNodeVisits
-	}
-}
-
-// measureWalk runs one random-walk job: a cover-time trial for MetricCover,
-// or the mean inter-visit gap over a long window for MetricReturn (the
-// walk analogue of return time; expectation n/k on the ring). Deterministic
-// cells reuse one cached Walk across the worker's replicas via Reseed and
-// Reset, so replica-heavy expectation sweeps allocate one walk per cell.
-func (w *worker) measureWalk(spec *SweepSpec, g *graph.Graph, c Cell, positions []int, deterministic bool, seed uint64, rng *xrand.Rand, row *Row) {
-	var walk *randwalk.Walk
-	if deterministic && w.protoWalkCell == c.Index && w.protoWalk != nil {
-		walk = w.protoWalk
-		walk.Reseed(seed)
-		walk.Reset()
-	} else {
-		var err error
-		walk, err = randwalk.New(g, positions, rng, randwalk.WithMode(walkMode(spec.Kernel)))
-		if err != nil {
-			row.Err = err.Error()
-			return
-		}
-		if deterministic {
-			w.protoWalkCell = c.Index
-			w.protoWalk = walk
-		} else {
-			w.protoWalkCell = -1
-			w.protoWalk = nil
-		}
-	}
-	switch spec.Metric {
-	case MetricCover:
-		cover, err := walk.RunUntilCovered(budget(spec, g))
-		row.Rounds = walk.Round()
-		if err != nil {
-			row.Err = err.Error()
-			return
-		}
-		row.Value = float64(cover)
-	case MetricReturn:
-		n := int64(g.NumNodes())
-		span := n / int64(row.K)
-		if span < 1 {
-			span = 1
-		}
-		// The window must dominate the (n/k)^2 diffusive scale or nodes
-		// between two walkers can stay unvisited all window.
-		burnIn, window := 10*n, 50*span*span+200*n
-		gs := walk.MeasureGaps(burnIn, window)
-		row.Rounds = walk.Round()
-		row.Value = gs.MeanGap
-		row.Period = gs.MaxGap // walk analogue: worst observed gap
 	}
 }
 

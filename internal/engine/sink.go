@@ -8,6 +8,7 @@ import (
 	"strconv"
 
 	"rotorring/internal/stats"
+	"rotorring/probe"
 )
 
 // Row is the result of one job (one replica of one cell). Rows reach the
@@ -38,6 +39,10 @@ type Row struct {
 	// Err is the measurement error, if any (e.g. budget exhausted). A
 	// failed job still produces its row so sweeps degrade gracefully.
 	Err string `json:"err,omitempty"`
+	// Series holds the job's sampled probe points (SweepSpec.Probes), in
+	// round order. Only the JSONL sink serializes it; the CSV sink keeps
+	// its fixed scalar column set.
+	Series []probe.Point `json:"series,omitempty"`
 }
 
 // Sink consumes ordered sweep rows. Sinks are driven from one goroutine;

@@ -13,7 +13,18 @@ import (
 	"strings"
 
 	"rotorring/internal/graph"
+	"rotorring/probe"
 )
+
+// ProbeSpec selects one registered probe and its sampling stride for a
+// sweep (see rotorring/probe for the registry and the built-ins:
+// coverage, histogram, domains).
+type ProbeSpec struct {
+	// Name is the registered probe name.
+	Name string `json:"name"`
+	// Stride is the sampling period in rounds (>= 1).
+	Stride int64 `json:"stride"`
+}
 
 // Placement selects the initial agent positions of a sweep cell. The values
 // deliberately mirror the root package's PlacementPolicy constants so the
@@ -152,52 +163,24 @@ func (k Kernel) String() string {
 	}
 }
 
-// Process selects which of the paper's two processes a sweep runs.
-type Process int
-
-// Processes.
+// Process and metric names. Sweeps select both by name from the process
+// registry (see process.go), so third processes and metrics plug in
+// without engine edits; these constants name the built-ins.
 const (
 	// ProcRotor is the deterministic multi-agent rotor-router.
-	ProcRotor Process = iota + 1
+	ProcRotor = "rotor"
 	// ProcWalk is the randomized baseline: k independent random walks.
-	ProcWalk
-)
+	ProcWalk = "walk"
 
-func (p Process) String() string {
-	switch p {
-	case ProcRotor:
-		return "rotor"
-	case ProcWalk:
-		return "walk"
-	default:
-		return fmt.Sprintf("process(%d)", int(p))
-	}
-}
-
-// Metric selects the quantity measured per job.
-type Metric int
-
-// Metrics.
-const (
 	// MetricCover measures the cover time (first round with every node
-	// visited). For ProcWalk each replica is one independent trial.
-	MetricCover Metric = iota + 1
-	// MetricReturn measures the limit-cycle return time for ProcRotor
-	// (Theorem 6) and the mean inter-visit gap over a long window for
-	// ProcWalk (the paper's closing comparison).
-	MetricReturn
+	// visited). For randomized processes each replica is one independent
+	// trial.
+	MetricCover = "cover"
+	// MetricReturn measures the recurrence metric: the limit-cycle return
+	// time for the rotor (Theorem 6), the mean inter-visit gap over a long
+	// window for walks (the paper's closing comparison).
+	MetricReturn = "return"
 )
-
-func (m Metric) String() string {
-	switch m {
-	case MetricCover:
-		return "cover"
-	case MetricReturn:
-		return "return"
-	default:
-		return fmt.Sprintf("metric(%d)", int(m))
-	}
-}
 
 // BuildGraph constructs a named topology of size parameter n: node count
 // for ring/path/complete/star, side length for grid/torus, dimension for
@@ -247,12 +230,20 @@ type SweepSpec struct {
 	// Placements lists the initial placements; default PlaceSingle.
 	Placements []Placement `json:"placements,omitempty"`
 	// Pointers lists the pointer arrangements; default PtrZero. Ignored
-	// (collapsed to one cell) for ProcWalk, which has no pointers.
+	// (collapsed to one cell) for processes without pointers, e.g.
+	// ProcWalk.
 	Pointers []Pointer `json:"pointers,omitempty"`
-	// Process selects rotor-router or random walks; default ProcRotor.
-	Process Process `json:"process,omitempty"`
-	// Metric selects the measured quantity; default MetricCover.
-	Metric Metric `json:"metric,omitempty"`
+	// Process names the registered process to run (ProcessNames lists
+	// them); default ProcRotor.
+	Process string `json:"process,omitempty"`
+	// Metric names the registered quantity to measure (MetricNames lists
+	// them); default MetricCover.
+	Metric string `json:"metric,omitempty"`
+	// Probes names the registered probes sampled during each job, each
+	// with its stride in rounds. Sampled points stream into the JSONL sink
+	// as each row's "series" field (the CSV sink omits them); they require
+	// MetricCover. Probes never affect measured values or seeds.
+	Probes []ProbeSpec `json:"probes,omitempty"`
 	// Replicas is the number of runs per cell, each with its own derived
 	// seed; default 1. Replicas of a deterministic configuration verify
 	// reproducibility; replicas of randomized ones sample it.
@@ -292,16 +283,27 @@ func (s SweepSpec) withDefaults() (SweepSpec, error) {
 	if len(s.Placements) == 0 {
 		s.Placements = []Placement{PlaceSingle}
 	}
-	if s.Process == 0 {
+	s.Process = strings.ToLower(s.Process)
+	if s.Process == "" {
 		s.Process = ProcRotor
 	}
-	if s.Process == ProcWalk || len(s.Pointers) == 0 {
-		// Walks have no pointers: collapse the axis so the grid has no
+	proc, ok := LookupProcess(s.Process)
+	if !ok {
+		return s, fmt.Errorf("engine: unknown process %q (registered: %s)",
+			s.Process, strings.Join(ProcessNames(), "|"))
+	}
+	if !proc.UsesPointers || len(s.Pointers) == 0 {
+		// Processes without pointers: collapse the axis so the grid has no
 		// duplicate cells.
 		s.Pointers = []Pointer{PtrZero}
 	}
-	if s.Metric == 0 {
+	s.Metric = strings.ToLower(s.Metric)
+	if s.Metric == "" {
 		s.Metric = MetricCover
+	}
+	if _, ok := LookupMetric(s.Metric); !ok {
+		return s, fmt.Errorf("engine: unknown metric %q (registered: %s)",
+			s.Metric, strings.Join(MetricNames(), "|"))
 	}
 	if s.Replicas == 0 {
 		s.Replicas = 1
@@ -321,14 +323,20 @@ func (s SweepSpec) withDefaults() (SweepSpec, error) {
 			return s, fmt.Errorf("engine: invalid pointer policy %d", int(p))
 		}
 	}
-	if s.Process != ProcRotor && s.Process != ProcWalk {
-		return s, fmt.Errorf("engine: invalid process %d", int(s.Process))
-	}
-	if s.Metric != MetricCover && s.Metric != MetricReturn {
-		return s, fmt.Errorf("engine: invalid metric %d", int(s.Metric))
-	}
 	if s.Kernel < KernelAuto || s.Kernel > KernelFast {
 		return s, fmt.Errorf("engine: invalid kernel %d", int(s.Kernel))
+	}
+	for _, p := range s.Probes {
+		if !probe.Known(p.Name) {
+			return s, fmt.Errorf("engine: unknown probe %q (registered: %s)",
+				p.Name, strings.Join(probe.Names(), "|"))
+		}
+		if p.Stride < 1 {
+			return s, fmt.Errorf("engine: probe %q: stride %d < 1", p.Name, p.Stride)
+		}
+	}
+	if len(s.Probes) > 0 && s.Metric != MetricCover {
+		return s, fmt.Errorf("engine: probes require the %q metric (got %q)", MetricCover, s.Metric)
 	}
 	// Validate the topology by name only — constructing a graph here just
 	// to throw it away would build huge topologies before any worker

@@ -213,6 +213,46 @@ type sweepPoint struct {
 	extra string // free-form annotation column
 }
 
+// registrySweep runs a named process/metric from the engine's process
+// registry over the ring grid ns × ks (one fixed placement/pointer cell
+// per point) and returns the measured values as sweep points. Experiments
+// whose measurement is exactly a registered (process, metric) pair go
+// through here, so they exercise the same code path as sweeps and the
+// CLI; bespoke measurements (trial estimators, deployments, trackers) use
+// runSweep below.
+func registrySweep(cfg Config, ns, ks []int, process, metric string,
+	placement engine.Placement, pointer engine.Pointer) ([]sweepPoint, error) {
+	rows, err := engine.New(engine.Workers(cfg.Workers)).Run(engine.SweepSpec{
+		Topology:   "ring",
+		Sizes:      ns,
+		Agents:     ks,
+		Placements: []engine.Placement{placement},
+		Pointers:   []engine.Pointer{pointer},
+		Process:    process,
+		Metric:     metric,
+		Seed:       cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	points := make([]sweepPoint, 0, len(rows))
+	for _, r := range rows {
+		if r.Err != "" {
+			return nil, fmt.Errorf("expt: point n=%d k=%d: %s", r.N, r.K, r.Err)
+		}
+		points = append(points, sweepPoint{n: r.N, k: r.K, value: r.Value})
+	}
+	// The engine's canonical order is sizes then agents; normalize like
+	// runSweep so tables list points by (n, k) even with unsorted axes.
+	sort.SliceStable(points, func(a, b int) bool {
+		if points[a].n != points[b].n {
+			return points[a].n < points[b].n
+		}
+		return points[a].k < points[b].k
+	})
+	return points, nil
+}
+
 // runSweep evaluates measure on the cross product of ns × ks on the
 // experiment engine's deterministic parallel pool (bounded by cfg.Workers),
 // returning points in (n, k) grid order regardless of scheduling.

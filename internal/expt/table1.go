@@ -5,6 +5,7 @@ import (
 
 	"rotorring/internal/core"
 	"rotorring/internal/deploy"
+	"rotorring/internal/engine"
 	"rotorring/internal/graph"
 	"rotorring/internal/randwalk"
 	"rotorring/internal/stats"
@@ -60,10 +61,10 @@ func expE1() *Experiment {
 		Claim:    "k-agent rotor-router, worst-case start: cover time Θ(n²/log k)",
 		Run: func(cfg Config) (*Result, error) {
 			ns, ks, _ := sweepSizes(cfg.Scale)
-			points, err := runSweep(cfg, ns, ks, func(n, k int) (float64, string, error) {
-				v, err := rotorCoverTime(n, k, worstPlacement, towardStartPointers)
-				return v, "", err
-			})
+			// Deterministic cover sweep: runs as a registered
+			// (process, metric) pair on the sweep engine itself.
+			points, err := registrySweep(cfg, ns, ks,
+				engine.ProcRotor, engine.MetricCover, engine.PlaceSingle, engine.PtrToward)
 			if err != nil {
 				return nil, err
 			}
@@ -98,10 +99,8 @@ func expE2() *Experiment {
 		Claim:    "k-agent rotor-router, best-case start: cover time Θ(n²/k²)",
 		Run: func(cfg Config) (*Result, error) {
 			ns, ks, _ := sweepSizes(cfg.Scale)
-			points, err := runSweep(cfg, ns, ks, func(n, k int) (float64, string, error) {
-				v, err := rotorCoverTime(n, k, bestPlacement, negativePointers)
-				return v, "", err
-			})
+			points, err := registrySweep(cfg, ns, ks,
+				engine.ProcRotor, engine.MetricCover, engine.PlaceEqual, engine.PtrNegative)
 			if err != nil {
 				return nil, err
 			}

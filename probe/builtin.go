@@ -1,0 +1,106 @@
+package probe
+
+import "fmt"
+
+// Built-in probes. Each registers itself under the name sweeps use
+// (SweepSpec.Probes / rotorsim -probes).
+
+func init() {
+	Register("coverage", func(env Env) (Probe, error) {
+		return &coverage{stride: env.Stride}, nil
+	})
+	Register("histogram", func(env Env) (Probe, error) {
+		return newHistogram(env)
+	})
+	Register("domains", func(env Env) (Probe, error) {
+		return &domains{stride: env.Stride}, nil
+	})
+}
+
+// coverage samples the coverage curve: how many distinct nodes have been
+// visited after each sampled round.
+type coverage struct {
+	stride int64
+}
+
+func (c *coverage) Name() string  { return "coverage" }
+func (c *coverage) Stride() int64 { return c.stride }
+
+func (c *coverage) Observe(s State) []Point {
+	return []Point{{
+		Probe: "coverage",
+		Round: s.Round(),
+		Key:   "covered",
+		Value: float64(s.Covered()),
+	}}
+}
+
+// histogramBins is the default bucket count of the position histogram.
+const histogramBins = 16
+
+// histogram samples the spatial distribution of agents: node indices are
+// folded into a fixed number of contiguous buckets and each bucket's agent
+// count is emitted as one point, keeping sampled rows bounded regardless
+// of topology size. Requires the Positioner capability.
+type histogram struct {
+	stride int64
+	nodes  int
+	bins   int
+	counts []float64 // scratch, reused across samples
+}
+
+func newHistogram(env Env) (Probe, error) {
+	if env.Nodes < 1 {
+		return nil, fmt.Errorf("probe: histogram needs the node count (got %d)", env.Nodes)
+	}
+	bins := histogramBins
+	if env.Nodes < bins {
+		bins = env.Nodes
+	}
+	return &histogram{stride: env.Stride, nodes: env.Nodes, bins: bins, counts: make([]float64, bins)}, nil
+}
+
+func (h *histogram) Name() string  { return "histogram" }
+func (h *histogram) Stride() int64 { return h.stride }
+
+func (h *histogram) Observe(s State) []Point {
+	p, ok := s.(Positioner)
+	if !ok {
+		return nil
+	}
+	for i := range h.counts {
+		h.counts[i] = 0
+	}
+	for _, v := range p.Positions() {
+		h.counts[v*h.bins/h.nodes]++
+	}
+	pts := make([]Point, h.bins)
+	round := s.Round()
+	for i, c := range h.counts {
+		pts[i] = Point{Probe: "histogram", Round: round, Key: fmt.Sprintf("bin%02d", i), Value: c}
+	}
+	return pts
+}
+
+// domains samples the number of agent domains (§2.2 of the paper) of a
+// rotor-router on the ring. Requires the DomainCounter capability;
+// processes without it (random walks, non-ring topologies) yield no
+// points.
+type domains struct {
+	stride int64
+}
+
+func (d *domains) Name() string  { return "domains" }
+func (d *domains) Stride() int64 { return d.stride }
+
+func (d *domains) Observe(s State) []Point {
+	dc, ok := s.(DomainCounter)
+	if !ok {
+		return nil
+	}
+	n, err := dc.NumDomains()
+	if err != nil {
+		return nil
+	}
+	return []Point{{Probe: "domains", Round: s.Round(), Key: "domains", Value: float64(n)}}
+}

@@ -1,0 +1,189 @@
+package probe
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+// fakeState is a scripted probe target.
+type fakeState struct {
+	round   int64
+	covered int
+	pos     []int
+}
+
+func (f *fakeState) Round() int64     { return f.round }
+func (f *fakeState) Covered() int     { return f.covered }
+func (f *fakeState) Positions() []int { return f.pos }
+
+// TestRegistry: lookups, unknown names, stride validation.
+func TestRegistry(t *testing.T) {
+	for _, name := range []string{"coverage", "histogram", "domains"} {
+		if !Known(name) {
+			t.Errorf("built-in probe %q not registered", name)
+		}
+	}
+	if _, err := New("nope", Env{Stride: 1}); err == nil {
+		t.Error("unknown probe accepted")
+	}
+	if _, err := New("coverage", Env{Stride: 0}); err == nil {
+		t.Error("stride 0 accepted")
+	}
+	if _, err := New("histogram", Env{Stride: 1}); err == nil {
+		t.Error("histogram without node count accepted")
+	}
+	names := Names()
+	if len(names) < 3 {
+		t.Errorf("Names() = %v", names)
+	}
+}
+
+// TestRunnerStride: Observe fires exactly at stride multiples, Next
+// reports the next due round, Flush closes the series without duplicating
+// an already-sampled round.
+func TestRunnerStride(t *testing.T) {
+	cov, err := New("coverage", Env{Stride: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRunner(cov)
+	s := &fakeState{}
+	var rounds []int64
+	emit := func(p Point) { rounds = append(rounds, p.Round) }
+
+	for s.round = 0; s.round <= 35; s.round++ {
+		r.Observe(s, emit)
+		r.Observe(s, emit) // re-observing the same round must not duplicate
+	}
+	s.round = 35
+	r.Flush(s, emit) // off-stride terminal round
+	r.Flush(s, emit) // idempotent
+	want := []int64{0, 10, 20, 30, 35}
+	if !reflect.DeepEqual(rounds, want) {
+		t.Errorf("sampled rounds %v, want %v", rounds, want)
+	}
+
+	if next := r.Next(0); next != 10 {
+		t.Errorf("Next(0) = %d, want 10", next)
+	}
+	if next := r.Next(10); next != 20 {
+		t.Errorf("Next(10) = %d, want 20", next)
+	}
+	if next := r.Next(9); next != 10 {
+		t.Errorf("Next(9) = %d, want 10", next)
+	}
+}
+
+// TestRunnerEmpty: an empty runner is inert and reports no next sample.
+func TestRunnerEmpty(t *testing.T) {
+	r := NewRunner()
+	if !r.Empty() {
+		t.Error("NewRunner() not empty")
+	}
+	if r.Next(5) != math.MaxInt64 {
+		t.Error("empty runner schedules samples")
+	}
+	r.Observe(&fakeState{}, func(Point) { t.Error("empty runner emitted") })
+	var nilRunner *Runner
+	if !nilRunner.Empty() {
+		t.Error("nil runner not empty")
+	}
+}
+
+// TestRunnerMixedStrides: Next respects the earliest due probe of the set.
+func TestRunnerMixedStrides(t *testing.T) {
+	a, _ := New("coverage", Env{Stride: 6})
+	b, _ := New("coverage", Env{Stride: 10})
+	r := NewRunner(a, b)
+	cases := map[int64]int64{0: 6, 5: 6, 6: 10, 10: 12, 12: 18, 18: 20}
+	for round, want := range cases {
+		if got := r.Next(round); got != want {
+			t.Errorf("Next(%d) = %d, want %d", round, got, want)
+		}
+	}
+}
+
+// TestCoverageProbe: points carry the covered count of the sampled round.
+func TestCoverageProbe(t *testing.T) {
+	cov, _ := New("coverage", Env{Stride: 1})
+	pts := cov.Observe(&fakeState{round: 7, covered: 42})
+	if len(pts) != 1 || pts[0].Probe != "coverage" || pts[0].Round != 7 ||
+		pts[0].Key != "covered" || pts[0].Value != 42 {
+		t.Errorf("coverage points = %+v", pts)
+	}
+}
+
+// TestHistogramProbe: positions land in the right buckets, and states
+// without the Positioner capability yield no points.
+func TestHistogramProbe(t *testing.T) {
+	h, err := New("histogram", Env{Stride: 1, Nodes: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 32 nodes over 16 bins: two nodes per bin.
+	pts := h.Observe(&fakeState{pos: []int{0, 1, 2, 31, 31}})
+	if len(pts) != 16 {
+		t.Fatalf("histogram emitted %d points, want 16", len(pts))
+	}
+	var total float64
+	for _, p := range pts {
+		total += p.Value
+	}
+	if total != 5 {
+		t.Errorf("histogram total %v, want 5", total)
+	}
+	if pts[0].Value != 2 { // nodes 0, 1
+		t.Errorf("bin0 = %v, want 2", pts[0].Value)
+	}
+	if pts[15].Value != 2 { // node 31 twice
+		t.Errorf("bin15 = %v, want 2", pts[15].Value)
+	}
+
+	// A state without the Positioner capability: no points, no panic.
+	if pts := h.Observe(bareState{}); pts != nil {
+		t.Errorf("histogram on bare state emitted %v", pts)
+	}
+
+	small, err := New("histogram", Env{Stride: 1, Nodes: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pts := small.Observe(&fakeState{pos: []int{3}}); len(pts) != 4 {
+		t.Errorf("small-graph histogram has %d bins, want 4 (clamped to n)", len(pts))
+	}
+}
+
+// bareState implements only the State core, no capabilities.
+type bareState struct{}
+
+func (bareState) Round() int64 { return 0 }
+func (bareState) Covered() int { return 0 }
+
+// TestDomainsProbeNoCapability: a state without DomainCounter yields no
+// points.
+func TestDomainsProbeNoCapability(t *testing.T) {
+	d, _ := New("domains", Env{Stride: 1})
+	if pts := d.Observe(bareState{}); pts != nil {
+		t.Errorf("domains probe on bare state emitted %v", pts)
+	}
+}
+
+// TestRecorded: the recording wrapper retains emitted points and still
+// streams them through.
+func TestRecorded(t *testing.T) {
+	cov, _ := New("coverage", Env{Stride: 5})
+	rec := Record(cov)
+	r := NewRunner(rec)
+	s := &fakeState{covered: 3}
+	streamed := 0
+	for s.round = 0; s.round <= 10; s.round++ {
+		r.Observe(s, func(Point) { streamed++ })
+	}
+	if streamed != 3 { // rounds 0, 5, 10
+		t.Errorf("streamed %d points, want 3", streamed)
+	}
+	if got := rec.Points(); len(got) != 3 || got[1].Round != 5 {
+		t.Errorf("recorded points %+v", got)
+	}
+}

@@ -1,0 +1,288 @@
+package rotorring_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"rotorring"
+)
+
+// newProcs builds one instance of every constructible process on a small
+// ring, through the unified constructor.
+func newProcs(t *testing.T, n, k int) map[string]rotorring.Process {
+	t.Helper()
+	g := rotorring.Ring(n)
+	procs := map[string]rotorring.Process{}
+	for _, kind := range []rotorring.ProcessKind{rotorring.RotorRouter(), rotorring.RandomWalk()} {
+		p, err := rotorring.New(g, kind,
+			rotorring.Agents(k), rotorring.Place(rotorring.PlaceEqualSpacing))
+		if err != nil {
+			t.Fatalf("New(%v): %v", kind, err)
+		}
+		procs[kind.String()] = p
+	}
+	return procs
+}
+
+// TestNewKinds: the unified constructor builds both processes (with the
+// expected concrete types behind the interface) and rejects unknown names.
+func TestNewKinds(t *testing.T) {
+	g := rotorring.Ring(32)
+	p, err := rotorring.New(g, rotorring.RotorRouter(), rotorring.Agents(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := p.(*rotorring.RotorSim); !ok || p.ProcessName() != "rotor" {
+		t.Errorf("RotorRouter built %T (%s)", p, p.ProcessName())
+	}
+	w, err := rotorring.New(g, rotorring.RandomWalk(), rotorring.Agents(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := w.(*rotorring.WalkSim); !ok || w.ProcessName() != "walk" {
+		t.Errorf("RandomWalk built %T (%s)", w, w.ProcessName())
+	}
+	if _, err := rotorring.New(g, rotorring.NamedProcess("walk")); err != nil {
+		t.Errorf("NamedProcess(walk): %v", err)
+	}
+	if _, err := rotorring.New(g, rotorring.NamedProcess("teleport")); err == nil {
+		t.Error("unknown process name accepted")
+	}
+}
+
+// TestRunNegativeRounds: a negative round count errors consistently across
+// processes and leaves the state untouched.
+func TestRunNegativeRounds(t *testing.T) {
+	for name, p := range newProcs(t, 48, 4) {
+		if err := p.Run(-1); err == nil {
+			t.Errorf("%s: Run(-1) accepted", name)
+		}
+		if p.Round() != 0 {
+			t.Errorf("%s: Run(-1) advanced to round %d", name, p.Round())
+		}
+		if _, err := p.CoverTime(-5); err == nil {
+			t.Errorf("%s: CoverTime(-5) accepted", name)
+		}
+		if err := rotorring.RunContext(context.Background(), p, -2); err == nil {
+			t.Errorf("%s: RunContext(-2) accepted", name)
+		}
+		if _, err := rotorring.CoverTimeContext(context.Background(), p, -2); err == nil {
+			t.Errorf("%s: CoverTimeContext(-2) accepted", name)
+		}
+		if err := p.Run(10); err != nil {
+			t.Errorf("%s: Run(10): %v", name, err)
+		}
+		if p.Round() != 10 {
+			t.Errorf("%s: round %d after Run(10)", name, p.Round())
+		}
+	}
+
+	// Recurrence measurements validate budgets the same way.
+	r, err := rotorring.New(rotorring.Ring(32), rotorring.RotorRouter(), rotorring.Agents(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := r.(*rotorring.RotorSim)
+	if _, err := rs.ReturnTime(-1); err == nil {
+		t.Error("ReturnTime(-1) accepted")
+	}
+	if _, err := rs.FindLimitCycle(-1, false); err == nil {
+		t.Error("FindLimitCycle(-1) accepted")
+	}
+	if _, err := rotorring.ReturnTimeContext(context.Background(), rs, -1); err == nil {
+		t.Error("ReturnTimeContext(-1) accepted")
+	}
+}
+
+// TestResetAndClone: Reset restores the initial configuration; Clone
+// evolves identically to the original from the cloned state.
+func TestResetAndClone(t *testing.T) {
+	for name, p := range newProcs(t, 64, 4) {
+		if err := p.Run(20); err != nil {
+			t.Fatal(err)
+		}
+		covered := p.Covered()
+
+		c := p.Clone()
+		if c.Round() != p.Round() || c.Covered() != covered {
+			t.Fatalf("%s: clone state differs at birth", name)
+		}
+		// The clone must evolve identically (including generator state for
+		// the walk) without affecting the original.
+		origRound := p.Round()
+		if err := c.Run(30); err != nil {
+			t.Fatal(err)
+		}
+		if p.Round() != origRound {
+			t.Errorf("%s: running the clone advanced the original", name)
+		}
+
+		p.Reset()
+		if p.Round() != 0 || p.Visits(1) != 0 {
+			t.Errorf("%s: Reset left round=%d", name, p.Round())
+		}
+	}
+
+	// Determinism through Reset for the rotor: same cover time twice.
+	g := rotorring.Ring(96)
+	p, err := rotorring.New(g, rotorring.RotorRouter(),
+		rotorring.Agents(4), rotorring.Place(rotorring.PlaceEqualSpacing),
+		rotorring.Pointers(rotorring.PointerNegative))
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := p.CoverTime(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Reset()
+	second, err := p.CoverTime(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != second {
+		t.Errorf("cover time after Reset: %d, want %d", second, first)
+	}
+}
+
+// TestCoverTimeContextMatchesPlain: the context-aware runner computes
+// exactly what the plain call computes (chunked stepping must not change
+// results).
+func TestCoverTimeContextMatchesPlain(t *testing.T) {
+	g := rotorring.Ring(128)
+	build := func() rotorring.Process {
+		p, err := rotorring.New(g, rotorring.RotorRouter(),
+			rotorring.Agents(4), rotorring.Place(rotorring.PlaceSingleNode),
+			rotorring.Pointers(rotorring.PointerTowardStart))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	want, err := build().CoverTime(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := rotorring.CoverTimeContext(context.Background(), build(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("CoverTimeContext = %d, CoverTime = %d", got, want)
+	}
+
+	// Observation must not change the measured value either.
+	cov, err := rotorring.CoverageProbe(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	observed, err := rotorring.CoverTimeContext(context.Background(), build(), 0, cov)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if observed != want {
+		t.Errorf("observed CoverTimeContext = %d, want %d", observed, want)
+	}
+}
+
+// TestCoverTimeContextBudget: an exhausted budget surfaces as
+// ErrNotCovered across processes (so callers and the runner itself can
+// distinguish it from real failures).
+func TestCoverTimeContextBudget(t *testing.T) {
+	for name, p := range newProcs(t, 512, 2) {
+		_, err := rotorring.CoverTimeContext(context.Background(), p, 3)
+		if !errors.Is(err, rotorring.ErrNotCovered) {
+			t.Errorf("%s: budget error = %v, want ErrNotCovered", name, err)
+		}
+	}
+}
+
+// TestCoverTimeContextCancel is the acceptance check for cancellation: a
+// run with an effectively blocking budget must return promptly once the
+// context is cancelled, instead of stepping to the budget's end.
+func TestCoverTimeContextCancel(t *testing.T) {
+	// Single agent, adversarial pointers, big ring: cover needs ~n²/2
+	// rounds (hundreds of millions) — blocking at test scale.
+	g := rotorring.Ring(1 << 15)
+	p, err := rotorring.New(g, rotorring.RotorRouter(),
+		rotorring.Agents(1), rotorring.Pointers(rotorring.PointerTowardStart))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err = rotorring.CoverTimeContext(ctx, p, 1<<40)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled run returned %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("cancelled CoverTimeContext took %v; cancellation is not prompt", elapsed)
+	}
+	if p.Round() == 0 {
+		t.Error("run never started before cancellation")
+	}
+}
+
+// TestReturnTimeContextCancel: the recurrence measurement honors
+// cancellation through the core stop hook.
+func TestReturnTimeContextCancel(t *testing.T) {
+	g := rotorring.Ring(1 << 14)
+	p, err := rotorring.New(g, rotorring.RotorRouter(),
+		rotorring.Agents(1), rotorring.Pointers(rotorring.PointerTowardStart))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err = rotorring.ReturnTimeContext(ctx, p, 1<<40)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled measurement returned %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("cancelled ReturnTimeContext took %v", elapsed)
+	}
+
+	// The walk has no return time; the free function says so.
+	w, err := rotorring.New(g, rotorring.RandomWalk(), rotorring.Agents(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rotorring.ReturnTimeContext(context.Background(), w, 0); err == nil {
+		t.Error("walk ReturnTimeContext should be unsupported")
+	}
+}
+
+// TestReturnTimeContextMatchesPlain: an uncancelled context measurement
+// equals the plain one.
+func TestReturnTimeContextMatchesPlain(t *testing.T) {
+	build := func() rotorring.Process {
+		p, err := rotorring.New(rotorring.Ring(96), rotorring.RotorRouter(),
+			rotorring.Agents(3), rotorring.Place(rotorring.PlaceEqualSpacing))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	want, err := build().(*rotorring.RotorSim).ReturnTime(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := rotorring.ReturnTimeContext(context.Background(), build(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ReturnTime != want.ReturnTime || got.Period != want.Period {
+		t.Errorf("context return (%d, %d) != plain (%d, %d)",
+			got.ReturnTime, got.Period, want.ReturnTime, want.Period)
+	}
+}

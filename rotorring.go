@@ -21,18 +21,27 @@
 //
 // # Quick start
 //
+// Both processes are built with New and share the Process interface; the
+// context-aware runners add cancellation and streaming observation:
+//
 //	g := rotorring.Ring(1024)
-//	sim, err := rotorring.NewRotorSim(g,
+//	p, err := rotorring.New(g, rotorring.RotorRouter(), // or RandomWalk()
 //	    rotorring.Agents(8),
 //	    rotorring.Place(rotorring.PlaceEqualSpacing),
 //	    rotorring.Pointers(rotorring.PointerNegative))
 //	if err != nil { ... }
-//	cover, err := sim.CoverTime(0) // 0 = automatic budget
-//	ret, err := sim.ReturnTime(0)
+//	cover, err := rotorring.CoverTimeContext(ctx, p, 0) // 0 = automatic budget
+//	ret, err := rotorring.ReturnTimeContext(ctx, p, 0)  // rotor capability
+//
+// Process-specific behavior lives behind capability interfaces
+// (PointerReader, ReturnTimeMeasurer, DomainAnalyzer) and the concrete
+// *RotorSim / *WalkSim types. Streaming per-round observation (coverage
+// curves, position histograms, domain counts) comes from the probe
+// package via CoverageProbe, HistogramProbe and DomainCountProbe.
 //
 // The full experiment suite behind the paper's Table 1 lives in
-// cmd/papertables; DESIGN.md maps every table and figure to the modules
-// that reproduce it.
+// cmd/papertables; DESIGN.md maps every theorem, table and figure to the
+// packages that reproduce them.
 package rotorring
 
 import (

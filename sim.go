@@ -1,6 +1,7 @@
 package rotorring
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -227,6 +228,10 @@ type RotorSim struct {
 
 // NewRotorSim creates a rotor-router simulation on g. With no options a
 // single agent starts on node 0 with all pointers at port 0.
+//
+// Deprecated: use New(g, RotorRouter(), opts...), which returns the same
+// simulator behind the Process interface. NewRotorSim remains for callers
+// that want the concrete *RotorSim without a type assertion.
 func NewRotorSim(g *Graph, opts ...SimOption) (*RotorSim, error) {
 	cfg := simConfig{seed: 1}
 	for _, o := range opts {
@@ -264,6 +269,12 @@ func NewRotorSim(g *Graph, opts ...SimOption) (*RotorSim, error) {
 // NumAgents returns k.
 func (s *RotorSim) NumAgents() int { return int(s.sys.NumAgents()) }
 
+// Graph returns the topology the simulation runs on.
+func (s *RotorSim) Graph() *Graph { return s.sys.Graph() }
+
+// ProcessName returns the registry name of this process kind: "rotor".
+func (s *RotorSim) ProcessName() string { return engine.ProcRotor }
+
 // KernelName reports the stepping kernel in use ("ring", "path" or
 // "generic").
 func (s *RotorSim) KernelName() string { return s.sys.KernelName() }
@@ -293,36 +304,71 @@ func (s *RotorSim) Step() {
 	s.sys.Step()
 }
 
-// Run advances the given number of rounds.
-func (s *RotorSim) Run(rounds int64) {
+// Run advances the given number of rounds. A negative count is an error
+// and leaves the simulation untouched.
+func (s *RotorSim) Run(rounds int64) error {
+	if rounds < 0 {
+		return errNegativeRounds(rounds)
+	}
 	for i := int64(0); i < rounds; i++ {
 		s.Step()
 	}
+	return nil
 }
 
-// defaultCoverBudget bounds cover-time runs when the caller passes 0. The
-// formula lives in the engine package so sweeps and direct simulations can
-// never disagree on when a run is declared budget-exhausted.
-func defaultCoverBudget(g *Graph) int64 {
-	return engine.CoverBudget(g)
+// Reset restores the initial configuration (agents, pointers) and clears
+// all counters, allowing a fresh run without reallocation. With
+// TrackDomains the tracker restarts too: classification resumes from the
+// initial configuration.
+func (s *RotorSim) Reset() {
+	s.sys.Reset()
+	if s.tracker != nil {
+		// Cannot fail: the system kept the ring topology and flow
+		// recording that made the original tracker valid.
+		if tr, err := ringdom.NewTracker(s.sys); err == nil {
+			s.tracker = tr
+		}
+	}
+}
+
+// Clone returns an independent deep copy that evolves identically from the
+// current state. With TrackDomains the clone attaches a fresh tracker:
+// visits before the clone are unclassified on it (mirroring
+// ringdom.NewTracker on a mid-run system).
+func (s *RotorSim) Clone() Process {
+	c := &RotorSim{sys: s.sys.Clone()}
+	if s.tracker != nil {
+		if tr, err := ringdom.NewTracker(c.sys); err == nil {
+			c.tracker = tr
+		}
+	}
+	return c
 }
 
 // CoverTime runs until every node has been visited and returns the cover
-// time. maxRounds = 0 selects an automatic budget; exceeding the budget
-// returns an error wrapping core.ErrNotCovered.
+// time. maxRounds = 0 selects the automatic budget shared with the sweep
+// engine (engine.AutoBudget); exceeding the budget returns an error
+// wrapping ErrNotCovered (and core.ErrNotCovered).
 func (s *RotorSim) CoverTime(maxRounds int64) (int64, error) {
+	if maxRounds < 0 {
+		return 0, errNegativeRounds(maxRounds)
+	}
 	if maxRounds == 0 {
-		maxRounds = defaultCoverBudget(s.sys.Graph())
+		maxRounds = engine.AutoBudget(s.sys.Graph(), engine.ProcRotor, engine.MetricCover)
 	}
 	if s.tracker == nil {
-		return s.sys.RunUntilCovered(maxRounds)
+		t, err := s.sys.RunUntilCovered(maxRounds)
+		if err != nil {
+			return t, fmt.Errorf("%w: %w", ErrNotCovered, err)
+		}
+		return t, nil
 	}
 	// Step through the tracker so domain classification stays coherent.
 	n := s.sys.Graph().NumNodes()
 	for s.sys.Covered() < n {
 		if s.sys.Round() >= maxRounds {
-			return s.sys.Round(), fmt.Errorf("%w after %d rounds (%d/%d nodes)",
-				core.ErrNotCovered, s.sys.Round(), s.sys.Covered(), n)
+			return s.sys.Round(), fmt.Errorf("%w: %w after %d rounds (%d/%d nodes)",
+				ErrNotCovered, core.ErrNotCovered, s.sys.Round(), s.sys.Covered(), n)
 		}
 		s.tracker.Step()
 	}
@@ -336,24 +382,56 @@ type ReturnStats = core.ReturnStats
 // system.
 type LimitCycle = core.LimitCycle
 
+// returnBudget resolves the automatic budget of recurrence measurements
+// (the shared engine.AutoBudget rule: 4x the deterministic cover budget)
+// and rejects negative budgets like the other round-taking methods.
+func (s *RotorSim) returnBudget(maxRounds int64) (int64, error) {
+	if maxRounds < 0 {
+		return 0, errNegativeRounds(maxRounds)
+	}
+	if maxRounds == 0 {
+		return engine.AutoBudget(s.sys.Graph(), engine.ProcRotor, engine.MetricReturn), nil
+	}
+	return maxRounds, nil
+}
+
 // ReturnTime locates the limit cycle and measures the paper's return time
 // exactly over one period. maxRounds = 0 selects an automatic budget. The
 // simulation is parked inside the limit cycle afterwards.
 func (s *RotorSim) ReturnTime(maxRounds int64) (*ReturnStats, error) {
-	if maxRounds == 0 {
-		maxRounds = 4 * defaultCoverBudget(s.sys.Graph())
+	budget, err := s.returnBudget(maxRounds)
+	if err != nil {
+		return nil, err
 	}
-	return core.MeasureReturnTime(s.sys, maxRounds)
+	return core.MeasureReturnTime(s.sys, budget)
+}
+
+// ReturnTimeContext is ReturnTime with amortized cancellation: the context
+// is polled every few thousand steps of the cycle search and period
+// measurement (never per round), and a cancelled context aborts with its
+// error.
+func (s *RotorSim) ReturnTimeContext(ctx context.Context, maxRounds int64) (*ReturnStats, error) {
+	budget, err := s.returnBudget(maxRounds)
+	if err != nil {
+		return nil, err
+	}
+	rs, err := core.MeasureReturnTimeStop(s.sys, budget,
+		func() bool { return ctx.Err() != nil })
+	if err != nil && errors.Is(err, core.ErrStopped) {
+		return nil, ctx.Err()
+	}
+	return rs, err
 }
 
 // FindLimitCycle runs forward until the configuration provably repeats.
 // maxRounds = 0 selects an automatic budget. computeMu additionally
 // computes the exact stabilization round.
 func (s *RotorSim) FindLimitCycle(maxRounds int64, computeMu bool) (*LimitCycle, error) {
-	if maxRounds == 0 {
-		maxRounds = 4 * defaultCoverBudget(s.sys.Graph())
+	budget, err := s.returnBudget(maxRounds)
+	if err != nil {
+		return nil, err
 	}
-	return core.FindLimitCycle(s.sys, maxRounds, computeMu)
+	return core.FindLimitCycle(s.sys, budget, computeMu)
 }
 
 // DomainPartition is the decomposition of the ring into agent domains.
@@ -365,6 +443,16 @@ type LazyDomainPartition = ringdom.LazyPartition
 // Domains computes the current agent-domain partition (ring only).
 func (s *RotorSim) Domains() (*DomainPartition, error) {
 	return ringdom.Domains(s.sys)
+}
+
+// NumDomains returns the current number of agent domains (ring only) — the
+// DomainAnalyzer capability the domain-count probe samples.
+func (s *RotorSim) NumDomains() (int, error) {
+	part, err := ringdom.Domains(s.sys)
+	if err != nil {
+		return 0, err
+	}
+	return len(part.Domains), nil
 }
 
 // LazyDomains computes the current lazy domains (requires TrackDomains).

@@ -28,11 +28,29 @@ type SweepSpec struct {
 	Placements []PlacementPolicy
 	// Pointers lists the initial pointer policies (ignored for walks).
 	Pointers []PointerPolicy
+	// Process names the registered process to run ("rotor", "walk", or any
+	// name added to the engine registry; ProcessNames lists them). Empty
+	// selects the rotor-router, unless the deprecated Walk field is set.
+	Process string
+	// Metric names the registered quantity to measure ("cover", "return";
+	// MetricNames lists them). Empty selects the cover time, unless the
+	// deprecated ReturnTime field is set.
+	Metric string
+	// Probes names registered probes (see rotorring/probe) sampled during
+	// every job with the given strides; points stream into the JSONL rows'
+	// "series" field. Requires the cover metric.
+	Probes []ProbeSpec
 	// Walk selects the randomized baseline (k independent random walks)
 	// instead of the rotor-router.
+	//
+	// Deprecated: set Process to "walk". Walk is honored only while
+	// Process is empty.
 	Walk bool
 	// ReturnTime measures the limit-cycle return time (rotor) or the mean
 	// inter-visit gap (walk) instead of the cover time.
+	//
+	// Deprecated: set Metric to "return". ReturnTime is honored only while
+	// Metric is empty.
 	ReturnTime bool
 	// Replicas is the number of runs per configuration.
 	Replicas int
@@ -47,17 +65,24 @@ type SweepSpec struct {
 	Kernel KernelPolicy
 }
 
+// ProbeSpec selects a registered probe and its sampling stride for a
+// sweep.
+type ProbeSpec = engine.ProbeSpec
+
 // SweepRow is the result of one sweep job (one replica of one grid cell).
 type SweepRow struct {
 	Topology  string
 	N, K      int
 	Placement PlacementPolicy
-	Pointer   PointerPolicy // zero for walks
-	Replica   int
+	Pointer   PointerPolicy // zero for processes without pointers
+	// Process and Metric are the registry names the job ran.
+	Process string
+	Metric  string
+	Replica int
 	// Seed is the derived per-job seed.
 	Seed uint64
 	// Value is the measured metric: cover time, or return time / mean gap
-	// with ReturnTime set.
+	// for the return metric.
 	Value float64
 	// Rounds is the number of simulated rounds.
 	Rounds int64
@@ -67,6 +92,9 @@ type SweepRow struct {
 	// Err is the per-job failure, e.g. an exhausted round budget; failed
 	// jobs report rather than abort the sweep.
 	Err string
+	// Series holds the probes' sampled points in round order (empty
+	// without Probes).
+	Series []SeriesPoint
 }
 
 // engineSpec converts the public spec. Placement and pointer enums are
@@ -76,6 +104,9 @@ func (s SweepSpec) engineSpec() engine.SweepSpec {
 		Topology:  s.Topology,
 		Sizes:     s.Sizes,
 		Agents:    s.Agents,
+		Process:   s.Process,
+		Metric:    s.Metric,
+		Probes:    s.Probes,
 		Replicas:  s.Replicas,
 		Seed:      s.Seed,
 		MaxRounds: s.MaxRounds,
@@ -87,10 +118,12 @@ func (s SweepSpec) engineSpec() engine.SweepSpec {
 	for _, p := range s.Pointers {
 		es.Pointers = append(es.Pointers, engine.Pointer(p))
 	}
-	if s.Walk {
+	// The deprecated boolean selectors are honored while the named fields
+	// are empty; explicit names win.
+	if es.Process == "" && s.Walk {
 		es.Process = engine.ProcWalk
 	}
-	if s.ReturnTime {
+	if es.Metric == "" && s.ReturnTime {
 		es.Metric = engine.MetricReturn
 	}
 	return es
@@ -103,15 +136,18 @@ func publicRows(rows []engine.Row) []SweepRow {
 			Topology: r.Topology,
 			N:        r.N,
 			K:        r.K,
+			Process:  r.Process,
+			Metric:   r.Metric,
 			Replica:  r.Replica,
 			Seed:     r.Seed,
 			Value:    r.Value,
 			Rounds:   r.Rounds,
 			Period:   r.Period,
 			Err:      r.Err,
+			Series:   r.Series,
 		}
 		out[i].Placement = PlacementPolicy(r.Cell.Placement)
-		if r.Pointer != "" { // rotor rows carry a pointer policy; walk rows don't
+		if r.Pointer != "" { // pointer-less processes leave the column empty
 			out[i].Pointer = PointerPolicy(r.Cell.Pointer)
 		}
 	}

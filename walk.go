@@ -1,6 +1,9 @@
 package rotorring
 
 import (
+	"fmt"
+
+	"rotorring/internal/engine"
 	"rotorring/internal/randwalk"
 	"rotorring/internal/stats"
 	"rotorring/internal/xrand"
@@ -34,6 +37,10 @@ type WalkSim struct {
 // apply — the Kernel option selects between per-agent stepping
 // (KernelGeneric) and the counts-based engine (KernelFast), with KernelAuto
 // choosing by walker density.
+//
+// Deprecated: use New(g, RandomWalk(), opts...), which returns the same
+// simulator behind the Process interface. NewWalkSim remains for callers
+// that want the concrete *WalkSim without a type assertion.
 func NewWalkSim(g *Graph, opts ...SimOption) (*WalkSim, error) {
 	cfg := simConfig{seed: 1}
 	for _, o := range opts {
@@ -56,6 +63,15 @@ func NewWalkSim(g *Graph, opts ...SimOption) (*WalkSim, error) {
 // NumWalkers returns k.
 func (w *WalkSim) NumWalkers() int { return w.walk.NumWalkers() }
 
+// NumAgents returns k (the Process-interface name for NumWalkers).
+func (w *WalkSim) NumAgents() int { return w.walk.NumWalkers() }
+
+// Graph returns the topology the simulation runs on.
+func (w *WalkSim) Graph() *Graph { return w.g }
+
+// ProcessName returns the registry name of this process kind: "walk".
+func (w *WalkSim) ProcessName() string { return engine.ProcWalk }
+
 // Mode reports the stepping engine in use ("agents" or "counts").
 func (w *WalkSim) Mode() string { return w.walk.Mode() }
 
@@ -75,16 +91,52 @@ func (w *WalkSim) Visits(v int) int64 { return w.walk.Visits(v) }
 // Step moves every walker to a uniformly random neighbor.
 func (w *WalkSim) Step() { w.walk.Step() }
 
-// Run advances the given number of rounds.
-func (w *WalkSim) Run(rounds int64) { w.walk.Run(rounds) }
+// Run advances the given number of rounds. A negative count is an error
+// and leaves the simulation untouched.
+func (w *WalkSim) Run(rounds int64) error {
+	if rounds < 0 {
+		return errNegativeRounds(rounds)
+	}
+	w.walk.Run(rounds)
+	return nil
+}
+
+// Reset restores the initial placement and clears all counters. The
+// generator keeps its current state; combine with a fresh Seed-derived
+// simulation (or Clone before running) for independent trials.
+func (w *WalkSim) Reset() { w.walk.Reset() }
+
+// Clone returns an independent deep copy, including the generator state:
+// the copy and the original evolve identically from here.
+func (w *WalkSim) Clone() Process {
+	return &WalkSim{
+		walk:      w.walk.Clone(),
+		g:         w.g,
+		positions: append([]int(nil), w.positions...),
+		seed:      w.seed,
+		kernel:    w.kernel,
+	}
+}
 
 // CoverTime runs this one instance until all nodes are visited.
-// maxRounds = 0 selects an automatic budget.
+// maxRounds = 0 selects the automatic budget shared with the sweep engine
+// (engine.AutoBudget): 4x the deterministic cover budget, the headroom
+// every randomized run gets — the same rule ExpectedCoverTime and walk
+// sweep jobs use, so the three can never disagree on when a trial is
+// declared budget-exhausted. Exceeding the budget returns an error
+// wrapping ErrNotCovered (and randwalk.ErrNotCovered).
 func (w *WalkSim) CoverTime(maxRounds int64) (int64, error) {
-	if maxRounds == 0 {
-		maxRounds = defaultCoverBudget(w.g)
+	if maxRounds < 0 {
+		return 0, errNegativeRounds(maxRounds)
 	}
-	return w.walk.RunUntilCovered(maxRounds)
+	if maxRounds == 0 {
+		maxRounds = engine.AutoBudget(w.g, engine.ProcWalk, engine.MetricCover)
+	}
+	t, err := w.walk.RunUntilCovered(maxRounds)
+	if err != nil {
+		return t, fmt.Errorf("%w: %w", ErrNotCovered, err)
+	}
+	return t, nil
 }
 
 // CoverTimeSummary is the sample summary of repeated cover-time trials.
@@ -104,10 +156,11 @@ type CoverTimeSummary struct {
 // ExpectedCoverTime estimates E[cover time] over independent trials with
 // deterministic per-trial seeds (derived from the simulation seed). The
 // trials restart from the configured initial placement; the state of this
-// WalkSim is not consumed. maxRounds = 0 selects an automatic budget.
+// WalkSim is not consumed. maxRounds = 0 selects the same automatic budget
+// as CoverTime (engine.AutoBudget's 4x randomized-run headroom).
 func (w *WalkSim) ExpectedCoverTime(trials int, maxRounds int64) (CoverTimeSummary, error) {
 	if maxRounds == 0 {
-		maxRounds = 4 * defaultCoverBudget(w.g)
+		maxRounds = engine.AutoBudget(w.g, engine.ProcWalk, engine.MetricCover)
 	}
 	times, err := randwalk.CoverTimes(w.g, w.positions, trials, w.seed, maxRounds,
 		randwalk.WithMode(w.kernel.walkMode()))
