@@ -6,7 +6,7 @@ GO ?= go
 # Benchtime for bench-kernels; CI smoke uses 1x, local comparisons 1s+.
 BENCHTIME ?= 1s
 
-.PHONY: all build vet fmt fmt-check test race bench-smoke bench-kernels bench-baseline bench-json examples-smoke verify ci clean
+.PHONY: all build vet fmt fmt-check test race bench-smoke bench-kernels bench-baseline bench-json examples-smoke fuzz-smoke verify ci clean
 
 all: verify
 
@@ -65,7 +65,16 @@ examples-smoke:
 	$(GO) run ./examples/patrol -n 96 -k 4
 	$(GO) run ./examples/loadbalance -side 8 -tokens 32 -rounds 2000
 
-ci: build vet fmt-check race bench-smoke bench-kernels-smoke examples-smoke
+# Native fuzzing on a short fixed budget: the kernel differential fuzz
+# (rotor tiers bit-identical) and the topology-spec parser fuzz (canonical
+# forms are parse/String fixed points). Seed corpora also run under plain
+# `go test`; this target actually mutates.
+FUZZTIME ?= 10s
+fuzz-smoke:
+	$(GO) test ./internal/core -run '^$$' -fuzz '^FuzzKernelEquivalence$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/engine -run '^$$' -fuzz '^FuzzParseTopo$$' -fuzztime $(FUZZTIME)
+
+ci: build vet fmt-check race bench-smoke bench-kernels-smoke examples-smoke fuzz-smoke
 
 # CI variant of bench-kernels: single iteration, still exercises every tier.
 .PHONY: bench-kernels-smoke

@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"rotorring/internal/engine"
+	"rotorring/internal/graph"
 	"rotorring/probe"
 )
 
@@ -67,8 +68,8 @@ func parseList[T any](s string, parse func(string) (T, error)) ([]T, error) {
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("rotorsim", flag.ContinueOnError)
-	topology := fs.String("topology", "ring", "ring|path|grid|torus|complete|star|hypercube|btree")
-	nFlag := fs.String("n", "1024", "size parameter list (nodes; side length for grid/torus; dimension for hypercube; levels for btree)")
+	topology := fs.String("topology", "ring", "comma-separated topology specs, e.g. ring,grid:64x32,torus:128x8,rr:3 (families: "+strings.Join(engine.TopologyNames(), "|")+"); self-sized specs ignore -n")
+	nFlag := fs.String("n", "1024", "size parameter list for axis-sized topologies (nodes; side length for grid/torus; dimension for hypercube; levels for btree)")
 	kFlag := fs.String("k", "4", "agent count list")
 	place := fs.String("place", "equal", "placement list: single|equal|random")
 	pointers := fs.String("pointers", "zero", "pointer init list: zero|negative|toward|random")
@@ -130,6 +131,16 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	topos, err := parseList(*topology, func(p string) (engine.Topo, error) {
+		t, err := engine.ParseTopo(p)
+		if err != nil {
+			return "", fmt.Errorf("-topology: %w", err)
+		}
+		return t, nil
+	})
+	if err != nil {
+		return err
+	}
 	ks, err := parseInts("k", *kFlag)
 	if err != nil {
 		return err
@@ -157,7 +168,7 @@ func run(args []string, out io.Writer) error {
 	}
 
 	spec := engine.SweepSpec{
-		Topology:   *topology,
+		Topologies: topos,
 		Sizes:      ns,
 		Agents:     ks,
 		Placements: places,
@@ -233,15 +244,30 @@ func runText(eng *engine.Engine, spec engine.SweepSpec, addReturn bool, out io.W
 	}
 	single := len(cells) == 1
 	walk := spec.Process == engine.ProcWalk
-	// The per-topology line describes one graph; printing it for the first
-	// of several sizes would misstate the sweep.
-	if len(spec.Sizes) == 1 {
-		g, err := engine.BuildGraph(spec.Topology, spec.Sizes[0])
-		if err != nil {
-			return err
+	// The per-topology line describes one graph; it is printed only when
+	// every cell runs on the same instance (one topology, one size) —
+	// rebuilt here from the resolved spec and the sweep's graph seed, so
+	// for seeded families it describes exactly the graph the jobs ran on.
+	oneGraph := true
+	for _, c := range cells[1:] {
+		if c.Spec != cells[0].Spec {
+			oneGraph = false
+			break
 		}
-		fmt.Fprintf(out, "topology %s: %d nodes, %d edges, diameter %d\n",
-			g.Name(), g.NumNodes(), g.NumEdges(), g.Diameter())
+	}
+	if oneGraph {
+		g, err := headerGraph(spec.Seed, cells[0])
+		switch {
+		case err != nil && single:
+			// A single configuration whose graph cannot exist fails hard,
+			// as it always has (e.g. "ring" at n=2).
+			return err
+		case err == nil:
+			fmt.Fprintf(out, "topology %s: %d nodes, %d edges, max degree %d, diameter %d\n",
+				g.Name(), g.NumNodes(), g.NumEdges(), g.MaxDegree(), g.Diameter())
+			// A failing grid skips the header and degrades to per-row
+			// errors in the summary table, like any other per-job failure.
+		}
 	}
 
 	if spec.Metric != engine.MetricReturn {
@@ -315,6 +341,18 @@ func runText(eng *engine.Engine, spec engine.SweepSpec, addReturn bool, out io.W
 		return retSum.WriteTable(out)
 	}
 	return nil
+}
+
+// headerGraph rebuilds the one graph of a single-instance sweep from its
+// resolved spec and the sweep's graph seed, so the header line describes
+// exactly the graph the jobs run on (seeded families included).
+func headerGraph(seed uint64, c engine.Cell) (*graph.Graph, error) {
+	t := engine.Topo(c.Spec)
+	gseed, err := engine.GraphSeed(seed, t, c.N)
+	if err != nil {
+		return nil, err
+	}
+	return engine.BuildTopo(t, c.N, gseed)
 }
 
 // firstRowErr surfaces the first failed job of a sweep.

@@ -52,6 +52,54 @@ func TestTopologies(t *testing.T) {
 	}
 }
 
+// TestTopologySpecList: -topology takes a comma list of parameterized
+// specs, sweeping a heterogeneous grid in one run with byte-identical
+// output across worker counts.
+func TestTopologySpecList(t *testing.T) {
+	outputs := make([]string, 0, 2)
+	for _, w := range []string{"1", "8"} {
+		var buf bytes.Buffer
+		err := run([]string{"-topology", "ring,grid:8x4,torus:8x8,rr:3", "-n", "32",
+			"-k", "2", "-workers", w, "-format", "jsonl"}, &buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		outputs = append(outputs, buf.String())
+	}
+	if outputs[0] != outputs[1] {
+		t.Error("mixed-topology jsonl differs across -workers")
+	}
+	for _, want := range []string{`"topology":"ring"`, `"spec":"grid:8x4"`,
+		`"spec":"torus:8x8"`, `"spec":"rr:3x32"`, `"max_degree":4`} {
+		if !strings.Contains(outputs[0], want) {
+			t.Errorf("output missing %s:\n%s", want, outputs[0])
+		}
+	}
+
+	// A self-sized single spec renders the text header from its own size.
+	var buf bytes.Buffer
+	if err := run([]string{"-topology", "grid:8x4", "-k", "2"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "grid(8x4)") {
+		t.Errorf("missing self-sized topology header:\n%s", buf.String())
+	}
+
+	// A grid whose shared graph cannot exist (rr needs n*d even) degrades
+	// to per-row failures in the summary table; only a single
+	// configuration fails hard.
+	buf.Reset()
+	if err := run([]string{"-topology", "rr:3", "-n", "9", "-k", "2,4"}, &buf); err != nil {
+		t.Fatalf("unbuildable grid should degrade, got: %v", err)
+	}
+	if got := strings.Count(buf.String(), "failed=1"); got != 2 {
+		t.Errorf("want 2 failed cells in the table:\n%s", buf.String())
+	}
+	if err := run([]string{"-topology", "rr:3", "-n", "9", "-k", "2"}, &buf); err == nil {
+		t.Error("single unbuildable configuration should fail hard")
+	}
+}
+
 func TestSweepText(t *testing.T) {
 	var buf bytes.Buffer
 	err := run([]string{"-n", "32,64", "-k", "2,4", "-place", "single,equal",
@@ -154,13 +202,15 @@ func TestSweepPartialFailure(t *testing.T) {
 
 func TestBadInputs(t *testing.T) {
 	for name, args := range map[string][]string{
-		"topology": {"-topology", "moebius"},
-		"place":    {"-place", "everywhere"},
-		"pointers": {"-pointers", "sideways"},
-		"flag":     {"-bogus"},
-		"n":        {"-n", "12,zebra"},
-		"k":        {"-k", "0"},
-		"format":   {"-format", "yaml"},
+		"topology":      {"-topology", "moebius"},
+		"topology-spec": {"-topology", "grid:0x5"},
+		"topology-list": {"-topology", "ring,rr"},
+		"place":         {"-place", "everywhere"},
+		"pointers":      {"-pointers", "sideways"},
+		"flag":          {"-bogus"},
+		"n":             {"-n", "12,zebra"},
+		"k":             {"-k", "0"},
+		"format":        {"-format", "yaml"},
 	} {
 		var buf bytes.Buffer
 		if err := run(args, &buf); err == nil {

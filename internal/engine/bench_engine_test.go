@@ -8,6 +8,8 @@ import (
 	"runtime"
 	"testing"
 	"time"
+
+	"rotorring/internal/graph"
 )
 
 // benchJSON, when set, makes TestEmitBenchJSON measure the sequential
@@ -52,7 +54,7 @@ func runSequential(spec SweepSpec) ([]Row, error) {
 	if err != nil {
 		return nil, err
 	}
-	w := newWorker()
+	w := newWorker(newGraphCache())
 	rows := make([]Row, 0, len(cells)*norm.Replicas)
 	for _, c := range cells {
 		for r := 0; r < norm.Replicas; r++ {
@@ -115,6 +117,24 @@ type kernelResult struct {
 	Speedup float64 `json:"speedup,omitempty"`
 }
 
+// graphResult is the measured graph-build-vs-cache entry: what one cold
+// construction of a representative topology costs against a warm hit in
+// the sweep-scoped shared cache (which is what every job after the first
+// pays per (topology, size, seed) since PR 4 — before, each worker rebuilt
+// its own copy).
+type graphResult struct {
+	Spec  string `json:"spec"`
+	Nodes int    `json:"nodes"`
+	Edges int    `json:"edges"`
+	// BuildSeconds is the best-of-reps cold construction time;
+	// CachedSeconds is the mean warm cache-hit time.
+	BuildSeconds  float64 `json:"buildSeconds"`
+	CachedSeconds float64 `json:"cachedSeconds"`
+	// Speedup is BuildSeconds / CachedSeconds: the per-job saving factor
+	// for every job that shares an already-built graph.
+	Speedup float64 `json:"speedup"`
+}
+
 // benchFile is the schema of BENCH_engine.json.
 type benchFile struct {
 	Benchmark string `json:"benchmark"`
@@ -131,6 +151,7 @@ type benchFile struct {
 	SeqSeconds  float64        `json:"sequentialSeconds"`
 	Results     []benchResult  `json:"results"`
 	Kernels     []kernelResult `json:"kernels"`
+	Graphs      []graphResult  `json:"graphs"`
 	GeneratedAt string         `json:"generatedAt"`
 }
 
@@ -193,6 +214,51 @@ func measureKernels(t *testing.T) []kernelResult {
 	return out
 }
 
+// measureGraphCache times one representative topology build against a warm
+// hit in the shared graph cache.
+func measureGraphCache(t *testing.T) []graphResult {
+	t.Helper()
+	out := make([]graphResult, 0, 2)
+	for _, spec := range []Topo{"torus:192x192", "rr:4x16384"} {
+		inst, err := parseTopo(string(spec))
+		if err != nil {
+			t.Fatal(err)
+		}
+		seed := graphSeedOf(1, inst.canonical)
+		var g *graph.Graph
+		build := timeIt(t, 3, func() error {
+			var err error
+			g, err = buildInstance(inst, 0, seed)
+			return err
+		})
+		// Warm cache: every hit after the first build is one mutex-guarded
+		// map lookup; average a batch so the clock resolves it.
+		cache := newGraphCache()
+		key := graphKey{spec: inst.canonical, seed: seed}
+		if _, err := cache.get(key, func() (*graph.Graph, error) { return g, nil }); err != nil {
+			t.Fatal(err)
+		}
+		const hits = 1 << 16
+		cached := timeIt(t, 3, func() error {
+			for i := 0; i < hits; i++ {
+				if _, err := cache.get(key, func() (*graph.Graph, error) { return g, nil }); err != nil {
+					return err
+				}
+			}
+			return nil
+		}) / hits
+		out = append(out, graphResult{
+			Spec:          inst.canonical,
+			Nodes:         g.NumNodes(),
+			Edges:         g.NumEdges(),
+			BuildSeconds:  build,
+			CachedSeconds: cached,
+			Speedup:       build / cached,
+		})
+	}
+	return out
+}
+
 // TestEmitBenchJSON records the perf trajectory. It is a no-op unless
 // -bench-json is set, so the regular test suite stays fast.
 func TestEmitBenchJSON(t *testing.T) {
@@ -249,6 +315,7 @@ func TestEmitBenchJSON(t *testing.T) {
 		})
 	}
 	out.Kernels = measureKernels(t)
+	out.Graphs = measureGraphCache(t)
 
 	f, err := os.Create(*benchJSON)
 	if err != nil {
@@ -270,6 +337,10 @@ func TestEmitBenchJSON(t *testing.T) {
 	for _, kr := range out.Kernels {
 		t.Logf("  kernel %-13s %s k=%-6d  %.3e steps/s  speedup %.2fx",
 			kr.Name, kr.Graph, kr.K, kr.StepsPerSec, kr.Speedup)
+	}
+	for _, gr := range out.Graphs {
+		t.Logf("  graph  %-13s %d nodes  build %.2e s  cached %.2e s  speedup %.0fx",
+			gr.Spec, gr.Nodes, gr.BuildSeconds, gr.CachedSeconds, gr.Speedup)
 	}
 }
 

@@ -61,6 +61,10 @@ func (e *Engine) Run(spec SweepSpec, sinks ...Sink) ([]Row, error) {
 	if workers > jobs {
 		workers = jobs
 	}
+	// One immutable graph cache per sweep, shared by every worker: each
+	// (topology, size, graph-seed) builds exactly once instead of once per
+	// worker.
+	graphs := newGraphCache()
 	type doneJob struct {
 		idx int
 		row Row
@@ -72,7 +76,7 @@ func (e *Engine) Run(spec SweepSpec, sinks ...Sink) ([]Row, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			w := newWorker()
+			w := newWorker(graphs)
 			for idx := range next {
 				cell := cells[idx/norm.Replicas]
 				out <- doneJob{idx: idx, row: w.runJob(&norm, cell, idx%norm.Replicas)}

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"sync"
 
 	"rotorring/internal/core"
 	"rotorring/internal/graph"
@@ -10,30 +11,71 @@ import (
 	"rotorring/probe"
 )
 
-// graphKey identifies one constructed topology in the worker's cache.
+// graphKey identifies one constructed graph instance in the sweep's shared
+// cache: the resolved self-sized spec plus the graph seed (always 0 for
+// unseeded families, so spelling variants of one instance share an entry).
 type graphKey struct {
-	topology string
-	n        int
+	spec string
+	seed uint64
 }
 
-// worker holds the per-goroutine reusable state: a topology cache and the
-// prototype process instance of the last deterministic cell it ran, which
-// subsequent replicas of the same cell reuse via Reset (plus Reseed for
-// randomized processes) instead of reallocating per trial — or run on a
-// clone when the measurement must not disturb the prototype. Workers never
-// share mutable state, so the hot step loops run without locks, and the
-// simulators' internal scratch buffers keep them allocation-free across
-// rounds.
+// graphEntry is one cache slot. The sync.Once gives the cache its
+// build-exactly-once guarantee: concurrent workers requesting the same key
+// block on the single build instead of duplicating it.
+type graphEntry struct {
+	once sync.Once
+	g    *graph.Graph
+	err  error
+}
+
+// graphCache is the sweep-scoped graph store shared by all workers of one
+// Run. Each (topology, size, graph-seed) instance is built exactly once
+// and then shared read-only: graph.Graph is immutable after construction
+// (adjacency and arc-id tables are frozen before the graph escapes its
+// builder), so lock-free concurrent reads from every worker are safe.
+// Build errors are cached alongside, so a failing cell fails every
+// replica without rebuilding.
+type graphCache struct {
+	mu sync.Mutex
+	m  map[graphKey]*graphEntry
+}
+
+func newGraphCache() *graphCache {
+	return &graphCache{m: make(map[graphKey]*graphEntry)}
+}
+
+// get returns the cached graph for key, building it on first use.
+func (c *graphCache) get(key graphKey, build func() (*graph.Graph, error)) (*graph.Graph, error) {
+	c.mu.Lock()
+	e, ok := c.m[key]
+	if !ok {
+		e = &graphEntry{}
+		c.m[key] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() { e.g, e.err = build() })
+	return e.g, e.err
+}
+
+// worker holds the per-goroutine reusable state: a handle on the sweep's
+// shared graph cache and the prototype process instance of the last
+// deterministic cell it ran, which subsequent replicas of the same cell
+// reuse via Reset (plus Reseed for randomized processes) instead of
+// reallocating per trial — or run on a clone when the measurement must not
+// disturb the prototype. Beyond the cache's build synchronization, workers
+// never share mutable state, so the hot step loops run without locks, and
+// the simulators' internal scratch buffers keep them allocation-free
+// across rounds.
 type worker struct {
-	graphs map[graphKey]*graph.Graph
+	graphs *graphCache
 
 	protoCell int    // cell index the cached prototype was built for
 	protoName string // process name the cached prototype runs
 	proto     Proc
 }
 
-func newWorker() *worker {
-	return &worker{graphs: make(map[graphKey]*graph.Graph), protoCell: -1}
+func newWorker(graphs *graphCache) *worker {
+	return &worker{graphs: graphs, protoCell: -1}
 }
 
 // kernelMode maps the sweep-level kernel selection to the rotor engine's.
@@ -60,20 +102,19 @@ func walkMode(k Kernel) randwalk.Mode {
 	}
 }
 
-// graph returns the cached topology for a cell, constructing it on first
-// use. Topology constructors are deterministic, so caching cannot affect
-// results.
-func (w *worker) graph(c Cell) (*graph.Graph, error) {
-	key := graphKey{topology: c.Topology, n: c.N}
-	if g, ok := w.graphs[key]; ok {
-		return g, nil
+// graph returns the shared cached graph for a cell, constructing it on
+// first use anywhere in the sweep. Builders are deterministic given
+// (params, n, seed) — seeded families derive their seed from the sweep's
+// base seed and the resolved spec, never from worker identity — so caching
+// cannot affect results, only skip redundant construction.
+func (w *worker) graph(spec *SweepSpec, c Cell) (*graph.Graph, error) {
+	var seed uint64
+	if c.inst.def.Seeded {
+		seed = graphSeedOf(spec.Seed, c.Spec)
 	}
-	g, err := BuildGraph(c.Topology, c.N)
-	if err != nil {
-		return nil, err
-	}
-	w.graphs[key] = g
-	return g, nil
+	return w.graphs.get(graphKey{spec: c.Spec, seed: seed}, func() (*graph.Graph, error) {
+		return buildInstance(c.inst, c.N, seed)
+	})
 }
 
 // CoverBudget is the library's deterministic automatic round budget for
@@ -123,11 +164,15 @@ func (w *worker) runJob(spec *SweepSpec, c Cell, replica int) Row {
 	def, _ := LookupProcess(spec.Process)
 	met, _ := LookupMetric(spec.Metric)
 	row := baseRow(spec, def, c, replica, seed)
-	g, err := w.graph(c)
+	g, err := w.graph(spec, c)
 	if err != nil {
 		row.Err = err.Error()
 		return row
 	}
+	// Graph metadata, read off the cached graph for free: with them plus
+	// the resolved spec, cross-topology rows are self-describing.
+	row.Edges = g.NumEdges()
+	row.MaxDegree = g.MaxDegree()
 
 	// A cell is deterministic when no part of its configuration depends on
 	// the replica seed; its prototype instance can then be reused across

@@ -24,6 +24,14 @@ type Row struct {
 	Replica   int    `json:"replica"`
 	Seed      uint64 `json:"seed"`
 
+	// Edges and MaxDegree describe the job's graph, read off the cached
+	// instance (absent on rows whose graph failed to build). Together with
+	// the cell's resolved spec they make cross-topology output
+	// self-describing. JSONL only — the CSV sink keeps its fixed column
+	// set.
+	Edges     int `json:"edges,omitempty"`
+	MaxDegree int `json:"max_degree,omitempty"`
+
 	// Value is the measured metric: cover time for MetricCover, return
 	// time (rotor) or mean inter-visit gap (walk) for MetricReturn.
 	Value float64 `json:"value"`

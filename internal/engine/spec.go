@@ -12,7 +12,6 @@ import (
 	"fmt"
 	"strings"
 
-	"rotorring/internal/graph"
 	"rotorring/probe"
 )
 
@@ -182,49 +181,27 @@ const (
 	MetricReturn = "return"
 )
 
-// BuildGraph constructs a named topology of size parameter n: node count
-// for ring/path/complete/star, side length for grid/torus, dimension for
-// hypercube, levels for btree. It is the one topology registry shared by
-// the engine and the commands. Constructor panics on out-of-range sizes
-// (e.g. Ring(2)) are converted to errors so sweeps and CLI runs fail
-// gracefully instead of crashing a worker.
-func BuildGraph(topology string, n int) (g *graph.Graph, err error) {
-	defer func() {
-		if r := recover(); r != nil {
-			g, err = nil, fmt.Errorf("engine: %s(%d): %v", strings.ToLower(topology), n, r)
-		}
-	}()
-	switch strings.ToLower(topology) {
-	case "ring":
-		return graph.Ring(n), nil
-	case "path":
-		return graph.Path(n), nil
-	case "grid":
-		return graph.Grid2D(n, n), nil
-	case "torus":
-		return graph.Torus2D(n, n), nil
-	case "complete":
-		return graph.Complete(n), nil
-	case "star":
-		return graph.Star(n), nil
-	case "hypercube":
-		return graph.Hypercube(n), nil
-	case "btree":
-		return graph.CompleteBinaryTree(n), nil
-	default:
-		return nil, fmt.Errorf("engine: unknown topology %q (ring|path|grid|torus|complete|star|hypercube|btree)", topology)
-	}
-}
-
 // SweepSpec describes a grid of experiment configurations: the cross
-// product Sizes x Agents x Placements x Pointers, each run Replicas times.
-// The zero value of the optional fields selects defaults (rotor process,
-// cover metric, one replica, automatic round budget).
+// product Topologies x Sizes x Agents x Placements x Pointers, each run
+// Replicas times. The zero value of the optional fields selects defaults
+// (ring topology, rotor process, cover metric, one replica, automatic
+// round budget).
 type SweepSpec struct {
-	// Topology names the graph family; see BuildGraph.
-	Topology string `json:"topology"`
-	// Sizes lists the size parameters n to sweep.
-	Sizes []int `json:"sizes"`
+	// Topologies lists the parameterized topology specs to sweep (see the
+	// topology registry in topology.go for the grammar and RegisterTopology
+	// for adding families). Axis-sized specs ("ring", "grid", "rr:3") take
+	// their size parameter from Sizes; self-sized specs ("grid:64x32",
+	// "rr:3x512") fix the graph themselves and contribute exactly one size
+	// cell each. One sweep may mix topologies freely.
+	Topologies []Topo `json:"topologies,omitempty"`
+	// Topology names a single graph family.
+	//
+	// Deprecated: set Topologies. Topology is honored only while
+	// Topologies is empty.
+	Topology string `json:"topology,omitempty"`
+	// Sizes lists the size parameters n for the axis-sized topologies.
+	// It may be empty when every entry of Topologies is self-sized.
+	Sizes []int `json:"sizes,omitempty"`
 	// Agents lists the agent counts k to sweep.
 	Agents []int `json:"agents"`
 	// Placements lists the initial placements; default PlaceSingle.
@@ -258,18 +235,45 @@ type SweepSpec struct {
 	// are bit-identical across tiers; walk trials are resampled (see
 	// Kernel). Seeds never depend on it.
 	Kernel Kernel `json:"kernel,omitempty"`
+
+	// topos is the parsed, validated form of Topologies, filled by
+	// withDefaults.
+	topos []topoInstance
 }
 
 // withDefaults returns a copy with defaults filled in and the grid
 // validated.
 func (s SweepSpec) withDefaults() (SweepSpec, error) {
-	// Normalize so seed derivation (which hashes the topology string)
-	// cannot distinguish "RING" from "ring" while BuildGraph accepts both.
-	s.Topology = strings.ToLower(s.Topology)
-	if s.Topology == "" {
-		s.Topology = "ring"
+	// Parse and validate every topology spec eagerly — cheap string work,
+	// no graph construction — so malformed specs fail the sweep up front
+	// instead of surfacing as per-job error rows. Parsing also
+	// canonicalizes, so seed derivation (which hashes the spec string)
+	// cannot distinguish "RING" from "ring".
+	if len(s.Topologies) == 0 {
+		// The deprecated single-family alias, honored while Topologies is
+		// empty.
+		t := s.Topology
+		if t == "" {
+			t = "ring"
+		}
+		s.Topologies = []Topo{Topo(t)}
 	}
-	if len(s.Sizes) == 0 {
+	s.topos = make([]topoInstance, 0, len(s.Topologies))
+	canon := make([]Topo, len(s.Topologies)) // fresh slice: never mutate the caller's
+	axisSized := false
+	for i, t := range s.Topologies {
+		inst, err := parseTopo(string(t))
+		if err != nil {
+			return s, err
+		}
+		canon[i] = Topo(inst.canonical)
+		s.topos = append(s.topos, inst)
+		if inst.size == 0 {
+			axisSized = true
+		}
+	}
+	s.Topologies = canon
+	if axisSized && len(s.Sizes) == 0 {
 		return s, fmt.Errorf("engine: sweep needs at least one size")
 	}
 	if len(s.Agents) == 0 {
@@ -338,28 +342,39 @@ func (s SweepSpec) withDefaults() (SweepSpec, error) {
 	if len(s.Probes) > 0 && s.Metric != MetricCover {
 		return s, fmt.Errorf("engine: probes require the %q metric (got %q)", MetricCover, s.Metric)
 	}
-	// Validate the topology by name only — constructing a graph here just
-	// to throw it away would build huge topologies before any worker
-	// starts. Out-of-range sizes surface as per-job error rows.
-	switch s.Topology {
-	case "ring", "path", "grid", "torus", "complete", "star", "hypercube", "btree":
-	default:
-		return s, fmt.Errorf("engine: unknown topology %q (ring|path|grid|torus|complete|star|hypercube|btree)", s.Topology)
-	}
+	// Topology specs were parsed and validated above without constructing
+	// any graph (building huge topologies just to validate would be worse
+	// than late failure); out-of-range axis sizes still surface as per-job
+	// error rows so the rest of the grid runs.
 	return s, nil
 }
 
 // Cell is one grid point of a sweep: a fully specified configuration, run
 // Replicas times by one worker.
 type Cell struct {
-	// Index is the cell's position in the canonical grid order (sizes
-	// outermost, then agents, placements, pointers).
-	Index     int       `json:"cell"`
-	Topology  string    `json:"topology"`
-	N         int       `json:"n"` // size parameter passed to BuildGraph
+	// Index is the cell's position in the canonical grid order
+	// (topologies outermost, then sizes, agents, placements, pointers).
+	Index int `json:"cell"`
+	// Topology is the canonical topology spec as listed in the sweep
+	// ("ring", "grid:64x32", "rr:3").
+	Topology string `json:"topology"`
+	// Spec is the resolved self-sized instance spec — the string that
+	// re-parses to exactly this cell's graph shape ("ring:1024",
+	// "grid:64x64", "rr:3x512") — so cross-topology output is
+	// self-describing.
+	Spec string `json:"spec,omitempty"`
+	// N is the size parameter: the Sizes-axis value for axis-sized specs,
+	// the implied size for self-sized ones.
+	N         int       `json:"n"`
 	K         int       `json:"k"`
 	Placement Placement `json:"-"`
 	Pointer   Pointer   `json:"-"`
+
+	// inst is the parsed topology, carried so workers can key the graph
+	// cache and build without re-parsing. Cells compared with
+	// reflect.DeepEqual stay equal across runs: inst points into the
+	// process-wide registry.
+	inst topoInstance
 }
 
 // Cells expands the grid in canonical order. The cell order — and therefore
@@ -373,20 +388,31 @@ func (s SweepSpec) Cells() ([]Cell, error) {
 }
 
 // expand builds the canonical cell grid of an already-normalized spec.
+// Self-sized topologies contribute one size cell (their implied size)
+// instead of fanning out over the Sizes axis, which does not apply to
+// them.
 func (s SweepSpec) expand() []Cell {
-	cells := make([]Cell, 0, len(s.Sizes)*len(s.Agents)*len(s.Placements)*len(s.Pointers))
-	for _, n := range s.Sizes {
-		for _, k := range s.Agents {
-			for _, pl := range s.Placements {
-				for _, pt := range s.Pointers {
-					cells = append(cells, Cell{
-						Index:     len(cells),
-						Topology:  s.Topology,
-						N:         n,
-						K:         k,
-						Placement: pl,
-						Pointer:   pt,
-					})
+	cells := make([]Cell, 0, len(s.topos)*len(s.Sizes)*len(s.Agents)*len(s.Placements)*len(s.Pointers))
+	for _, inst := range s.topos {
+		sizes := s.Sizes
+		if inst.size != 0 {
+			sizes = []int{inst.size}
+		}
+		for _, n := range sizes {
+			for _, k := range s.Agents {
+				for _, pl := range s.Placements {
+					for _, pt := range s.Pointers {
+						cells = append(cells, Cell{
+							Index:     len(cells),
+							Topology:  inst.canonical,
+							Spec:      inst.resolved(n),
+							N:         n,
+							K:         k,
+							Placement: pl,
+							Pointer:   pt,
+							inst:      inst,
+						})
+					}
 				}
 			}
 		}

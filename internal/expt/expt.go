@@ -223,7 +223,7 @@ type sweepPoint struct {
 func registrySweep(cfg Config, ns, ks []int, process, metric string,
 	placement engine.Placement, pointer engine.Pointer) ([]sweepPoint, error) {
 	rows, err := engine.New(engine.Workers(cfg.Workers)).Run(engine.SweepSpec{
-		Topology:   "ring",
+		Topologies: []engine.Topo{"ring"},
 		Sizes:      ns,
 		Agents:     ks,
 		Placements: []engine.Placement{placement},

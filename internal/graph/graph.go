@@ -32,10 +32,11 @@ type Arc struct {
 // Use a Builder or one of the topology constructors (Ring, Grid2D, ...) to
 // create one. The zero value is an empty graph and not usable.
 type Graph struct {
-	adj  [][]Arc
-	m    int // number of undirected edges
-	name string
-	base []int // base[v] = sum of degrees of nodes < v, for ArcID
+	adj    [][]Arc
+	m      int // number of undirected edges
+	name   string
+	base   []int // base[v] = sum of degrees of nodes < v, for ArcID
+	maxDeg int   // max_v deg(v), frozen with base
 }
 
 // Builder accumulates edges and produces a Graph. Ports are assigned in
@@ -82,12 +83,16 @@ func (b *Builder) Build() (*Graph, error) {
 	return g, nil
 }
 
-// freezeArcIDs precomputes the prefix sums of degrees used by ArcID, so that
-// the Graph is safe for concurrent use after construction.
+// freezeArcIDs precomputes the prefix sums of degrees used by ArcID — and
+// the degree maximum — so that the Graph is safe for concurrent use after
+// construction.
 func (g *Graph) freezeArcIDs() {
 	base := make([]int, len(g.adj)+1)
 	for i, a := range g.adj {
 		base[i+1] = base[i] + len(a)
+		if len(a) > g.maxDeg {
+			g.maxDeg = len(a)
+		}
 	}
 	g.base = base
 }
@@ -117,6 +122,9 @@ func (g *Graph) NumArcs() int { return 2 * g.m }
 
 // Degree returns deg(v).
 func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+
+// MaxDegree returns max_v deg(v), precomputed at construction.
+func (g *Graph) MaxDegree() int { return g.maxDeg }
 
 // Arc returns the arc leaving v through port p.
 func (g *Graph) Arc(v, p int) Arc { return g.adj[v][p] }

@@ -6,21 +6,49 @@ import (
 	"rotorring/internal/engine"
 )
 
-// SweepSpec describes a grid of experiments: the cross product of Sizes ×
-// Agents × Placements × Pointers, each configuration run Replicas times
-// with a seed derived from Seed and the configuration (never from execution
-// order). Sweeps therefore produce bit-identical results regardless of how
-// many workers run them.
+// Topo is one parameterized topology spec in a sweep, drawn from the
+// topology registry: a family name optionally followed by ":"-separated
+// parameters, e.g. "ring", "grid:64x32", "torus:128x8", "rr:3",
+// "shuffled:grid:8x8", "ring:1024". Axis-sized specs take their size from
+// SweepSpec.Sizes; self-sized specs (explicit dimensions) fix the graph
+// themselves. ParseTopo validates and canonicalizes; TopologyNames lists
+// the registered families.
+type Topo = engine.Topo
+
+// ParseTopo validates a topology spec string and returns its canonical
+// form (lower case, normalized parameters — "Grid:5" becomes "grid:5x5").
+// The canonical form re-parses to itself.
+func ParseTopo(s string) (Topo, error) { return engine.ParseTopo(s) }
+
+// TopologyNames lists the registered topology family names, sorted.
+func TopologyNames() []string { return engine.TopologyNames() }
+
+// SweepSpec describes a grid of experiments: the cross product of
+// Topologies × Sizes × Agents × Placements × Pointers, each configuration
+// run Replicas times with a seed derived from Seed and the configuration
+// (never from execution order). Sweeps therefore produce bit-identical
+// results regardless of how many workers run them.
 //
 // Zero-valued optional fields select defaults: ring topology, PlaceSingleNode,
 // PointerZero, rotor-router process, cover-time metric, one replica,
 // automatic round budget. Seed 0 is a valid base seed.
 type SweepSpec struct {
-	// Topology names the graph family: ring, path, grid, torus, complete,
-	// star, hypercube or btree. The size parameter is the node count, side
-	// length (grid/torus), dimension (hypercube) or level count (btree).
+	// Topologies lists the parameterized topology specs to sweep — one
+	// sweep may mix families freely ("ring", "grid:64x32", "rr:3", ...)
+	// and streams the whole heterogeneous grid in one canonical order.
+	// Seeded families (rr, shuffled) build their graphs deterministically
+	// from Seed. Empty selects the deprecated Topology field.
+	Topologies []Topo
+	// Topology names a single graph family: ring, path, grid, torus,
+	// complete, star, hypercube or btree.
+	//
+	// Deprecated: set Topologies. Topology is honored only while
+	// Topologies is empty.
 	Topology string
-	// Sizes lists the size parameters to sweep.
+	// Sizes lists the size parameters for the axis-sized topology specs:
+	// node count (ring/path/complete/star/rr), side length (grid/torus),
+	// dimension (hypercube) or level count (btree). It may be empty when
+	// every spec in Topologies is self-sized.
 	Sizes []int
 	// Agents lists the agent counts k to sweep.
 	Agents []int
@@ -71,8 +99,16 @@ type ProbeSpec = engine.ProbeSpec
 
 // SweepRow is the result of one sweep job (one replica of one grid cell).
 type SweepRow struct {
-	Topology  string
-	N, K      int
+	// Topology is the canonical topology spec the cell came from; Spec is
+	// the resolved self-sized instance ("grid" at size 8 resolves to
+	// "grid:8x8"), which re-parses to exactly this cell's graph shape.
+	Topology string
+	Spec     string
+	N, K     int
+	// Edges and MaxDegree describe the cell's graph (zero when the graph
+	// failed to build).
+	Edges     int
+	MaxDegree int
 	Placement PlacementPolicy
 	Pointer   PointerPolicy // zero for processes without pointers
 	// Process and Metric are the registry names the job ran.
@@ -101,16 +137,17 @@ type SweepRow struct {
 // defined with identical values in both packages.
 func (s SweepSpec) engineSpec() engine.SweepSpec {
 	es := engine.SweepSpec{
-		Topology:  s.Topology,
-		Sizes:     s.Sizes,
-		Agents:    s.Agents,
-		Process:   s.Process,
-		Metric:    s.Metric,
-		Probes:    s.Probes,
-		Replicas:  s.Replicas,
-		Seed:      s.Seed,
-		MaxRounds: s.MaxRounds,
-		Kernel:    engine.Kernel(s.Kernel),
+		Topologies: s.Topologies,
+		Topology:   s.Topology,
+		Sizes:      s.Sizes,
+		Agents:     s.Agents,
+		Process:    s.Process,
+		Metric:     s.Metric,
+		Probes:     s.Probes,
+		Replicas:   s.Replicas,
+		Seed:       s.Seed,
+		MaxRounds:  s.MaxRounds,
+		Kernel:     engine.Kernel(s.Kernel),
 	}
 	for _, p := range s.Placements {
 		es.Placements = append(es.Placements, engine.Placement(p))
@@ -133,18 +170,21 @@ func publicRows(rows []engine.Row) []SweepRow {
 	out := make([]SweepRow, len(rows))
 	for i, r := range rows {
 		out[i] = SweepRow{
-			Topology: r.Topology,
-			N:        r.N,
-			K:        r.K,
-			Process:  r.Process,
-			Metric:   r.Metric,
-			Replica:  r.Replica,
-			Seed:     r.Seed,
-			Value:    r.Value,
-			Rounds:   r.Rounds,
-			Period:   r.Period,
-			Err:      r.Err,
-			Series:   r.Series,
+			Topology:  r.Topology,
+			Spec:      r.Spec,
+			N:         r.N,
+			K:         r.K,
+			Edges:     r.Edges,
+			MaxDegree: r.MaxDegree,
+			Process:   r.Process,
+			Metric:    r.Metric,
+			Replica:   r.Replica,
+			Seed:      r.Seed,
+			Value:     r.Value,
+			Rounds:    r.Rounds,
+			Period:    r.Period,
+			Err:       r.Err,
+			Series:    r.Series,
 		}
 		out[i].Placement = PlacementPolicy(r.Cell.Placement)
 		if r.Pointer != "" { // pointer-less processes leave the column empty

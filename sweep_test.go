@@ -2,6 +2,7 @@ package rotorring
 
 import (
 	"bytes"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -99,6 +100,75 @@ func TestSweepWritersDeterministic(t *testing.T) {
 	lines := strings.Split(strings.TrimSpace(c.String()), "\n")
 	if want := 1 + 4*3; len(lines) != want {
 		t.Errorf("CSV has %d lines, want %d", len(lines), want)
+	}
+}
+
+// TestMixedTopologySweepPublic: the public API runs a heterogeneous
+// topology grid in one sweep, with canonicalized specs, resolved instance
+// specs and graph metadata on every row, deterministically across worker
+// counts.
+func TestMixedTopologySweepPublic(t *testing.T) {
+	spec := SweepSpec{
+		Topologies: []Topo{"ring", "Grid:8x4", "rr:3"},
+		Sizes:      []int{32},
+		Agents:     []int{2},
+		Replicas:   2,
+		Seed:       13,
+	}
+	rows, err := RunSweep(spec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows8, err := RunSweep(spec, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("got %d rows, want 6", len(rows))
+	}
+	if !reflect.DeepEqual(rows, rows8) {
+		t.Error("rows differ between 1 and 8 workers")
+	}
+	wantSpecs := []string{"ring:32", "ring:32", "grid:8x4", "grid:8x4", "rr:3x32", "rr:3x32"}
+	wantTopos := []string{"ring", "ring", "grid:8x4", "grid:8x4", "rr:3", "rr:3"}
+	for i, r := range rows {
+		if r.Err != "" {
+			t.Fatalf("row %d (%s) failed: %s", i, r.Topology, r.Err)
+		}
+		if r.Spec != wantSpecs[i] || r.Topology != wantTopos[i] {
+			t.Errorf("row %d: topology=%q spec=%q, want %q/%q",
+				i, r.Topology, r.Spec, wantTopos[i], wantSpecs[i])
+		}
+		if r.Edges == 0 || r.MaxDegree == 0 {
+			t.Errorf("row %d missing graph metadata: %+v", i, r)
+		}
+	}
+
+	// JSONL carries the new self-describing fields.
+	var buf bytes.Buffer
+	if err := spec.WriteJSONL(&buf, 4); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"spec":"rr:3x32"`, `"edges":`, `"max_degree":`} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("JSONL missing %s:\n%s", want, buf.String())
+		}
+	}
+}
+
+// TestParseTopoPublic: the re-exported spec parser canonicalizes and
+// rejects malformed specs.
+func TestParseTopoPublic(t *testing.T) {
+	topo, err := ParseTopo("Grid:5")
+	if err != nil || topo != Topo("grid:5x5") {
+		t.Errorf("ParseTopo(Grid:5) = (%q, %v)", topo, err)
+	}
+	if _, err := ParseTopo("moebius"); err == nil {
+		t.Error("bad spec accepted")
+	}
+	names := TopologyNames()
+	if len(names) < 8 {
+		t.Errorf("TopologyNames() = %v, want at least the eight built-ins", names)
 	}
 }
 
