@@ -6,7 +6,7 @@ GO ?= go
 # Benchtime for bench-kernels; CI smoke uses 1x, local comparisons 1s+.
 BENCHTIME ?= 1s
 
-.PHONY: all build vet fmt fmt-check test race bench-smoke bench-kernels bench-baseline bench-json examples-smoke fuzz-smoke verify ci clean
+.PHONY: all build vet fmt fmt-check test race race-short bench-smoke bench-kernels bench-baseline bench-json examples-smoke fuzz-smoke verify ci clean
 
 all: verify
 
@@ -31,6 +31,12 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Short-mode race run: the process/schedule invariant conformance suite and
+# the rest of the tests under the race detector, sized for a fast dedicated
+# CI job.
+race-short:
+	$(GO) test -race -short ./...
 
 # One iteration of every benchmark: catches bit-rot without burning CI time.
 bench-smoke:
@@ -66,13 +72,15 @@ examples-smoke:
 	$(GO) run ./examples/loadbalance -side 8 -tokens 32 -rounds 2000
 
 # Native fuzzing on a short fixed budget: the kernel differential fuzz
-# (rotor tiers bit-identical) and the topology-spec parser fuzz (canonical
-# forms are parse/String fixed points). Seed corpora also run under plain
+# (rotor tiers bit-identical), the topology-spec parser fuzz and the
+# schedule-spec parser fuzz (canonical forms are parse/String fixed points
+# with identical compiled plans). Seed corpora also run under plain
 # `go test`; this target actually mutates.
 FUZZTIME ?= 10s
 fuzz-smoke:
 	$(GO) test ./internal/core -run '^$$' -fuzz '^FuzzKernelEquivalence$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/engine -run '^$$' -fuzz '^FuzzParseTopo$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/engine -run '^$$' -fuzz '^FuzzParseSchedule$$' -fuzztime $(FUZZTIME)
 
 ci: build vet fmt-check race bench-smoke bench-kernels-smoke examples-smoke fuzz-smoke
 

@@ -3,12 +3,13 @@
 // takes a value accepts a comma-separated list, turning a single run into a
 // grid sweep; a single configuration is just a 1-cell sweep.
 //
-// The process and the metric are selected by name from the engine's
-// process registry (-process rotor|walk..., -metric cover|return...), so
-// processes and metrics registered by other packages are reachable without
-// command changes; -walk and -return remain as deprecated aliases. The
-// -probes flag attaches registered stride-sampled probes whose time series
-// streams into the JSONL rows.
+// The process, the metric and the perturbation schedule are selected by
+// name from the engine's registries (-process rotor|walk..., -metric
+// cover|return|restab_time..., -schedule none|delay:...|edgefail:...), so
+// processes, metrics and scenario families registered by other packages
+// are reachable without command changes; -walk and -return remain as
+// deprecated aliases. The -probes flag attaches registered stride-sampled
+// probes whose time series streams into the JSONL rows.
 //
 // Usage examples:
 //
@@ -18,6 +19,8 @@
 //	rotorsim -n 256,512,1024 -k 2,4,8 -place single,equal -format csv
 //	rotorsim -n 512 -k 4,8 -replicas 16 -process walk -workers 8 -format jsonl
 //	rotorsim -n 1024 -k 8 -probes coverage:256,histogram:1024 -format jsonl
+//	rotorsim -n 1024 -k 8 -schedule "none,delay:p=0.25,edgefail:t=4096,count=2" -format jsonl
+//	rotorsim -n 128 -k 4 -place random -pointers random -schedule "edgefail:t=131072" -metric restab_time
 package main
 
 import (
@@ -77,6 +80,7 @@ func run(args []string, out io.Writer) error {
 	process := fs.String("process", "", "process to run: "+strings.Join(engine.ProcessNames(), "|")+" (default rotor)")
 	metric := fs.String("metric", "", "metric to measure: "+strings.Join(engine.MetricNames(), "|")+" (default cover)")
 	probes := fs.String("probes", "", "stride-sampled probes as name:stride pairs, e.g. coverage:256,histogram:1024 (names: "+strings.Join(probe.Names(), "|")+"); series appear in jsonl rows")
+	schedule := fs.String("schedule", "none", "comma-separated perturbation schedules, e.g. none,delay:p=0.25,edgefail:t=1000,count=4 — note count/repair keys belong to the preceding spec (families: "+strings.Join(engine.ScheduleNames(), "|")+")")
 	doReturn := fs.Bool("return", false, "deprecated alias for -metric return; in text mode, adds the recurrence metric after the cover time")
 	walk := fs.Bool("walk", false, "deprecated alias for -process walk")
 	trials := fs.Int("trials", 16, "trials for the walk expectation estimate (walk replicas)")
@@ -157,6 +161,14 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	scheds := make([]engine.Schedule, 0, 1)
+	for _, p := range splitSchedules(*schedule) {
+		sc, err := engine.ParseSchedule(p)
+		if err != nil {
+			return fmt.Errorf("-schedule: %w", err)
+		}
+		scheds = append(scheds, sc)
+	}
 	probeSpecs, err := parseProbes(*probes)
 	if err != nil {
 		return err
@@ -180,6 +192,7 @@ func run(args []string, out io.Writer) error {
 		Seed:       *seed,
 		MaxRounds:  *budget,
 		Kernel:     kern,
+		Schedules:  scheds,
 	}
 	if procName == engine.ProcWalk && !replicasSet {
 		// Walks default to -trials replicas; an explicit -replicas wins
@@ -212,6 +225,27 @@ func run(args []string, out io.Writer) error {
 	default:
 		return fmt.Errorf("unknown format %q (text|jsonl|csv)", *format)
 	}
+}
+
+// splitSchedules splits the -schedule flag into specs: commas separate
+// specs, but a fragment whose head is not a registered schedule family
+// continues the previous spec's parameter list — schedule parameters
+// themselves contain commas ("edgefail:t=1000,count=4").
+func splitSchedules(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		p := strings.TrimSpace(part)
+		head := strings.ToLower(p)
+		if i := strings.IndexAny(head, ":="); i >= 0 {
+			head = head[:i]
+		}
+		if _, ok := engine.LookupSchedule(head); ok || len(out) == 0 {
+			out = append(out, p)
+		} else {
+			out[len(out)-1] += "," + p
+		}
+	}
+	return out
 }
 
 // parseProbes parses the -probes flag: comma-separated name:stride pairs.
@@ -285,8 +319,17 @@ func runText(eng *engine.Engine, spec engine.SweepSpec, addReturn bool, out io.W
 			}
 		}
 		elapsed := time.Since(start).Round(time.Millisecond)
+		// The legacy single-line formats speak cover-time language; other
+		// registry metrics (restab_time, ...) render as a summary table.
+		coverish := spec.Metric == "" || spec.Metric == engine.MetricCover
 
 		switch {
+		case !coverish:
+			fmt.Fprintf(out, "sweep: %d cells x %d replicas on %d workers, %s metric (%v)\n",
+				len(cells), spec.Replicas, eng.NumWorkers(), spec.Metric, elapsed)
+			if err := sum.WriteTable(out); err != nil {
+				return err
+			}
 		case walk && single:
 			c := sum.Cells()[0]
 			fmt.Fprintf(out, "random walks: k=%d, E[cover] = %.0f ± %.0f rounds (median %.0f, range [%.0f, %.0f], %d trials, %v)\n",

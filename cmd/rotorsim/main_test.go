@@ -218,3 +218,60 @@ func TestBadInputs(t *testing.T) {
 		}
 	}
 }
+
+// TestScheduleFlag: -schedule takes a comma list of perturbation specs
+// (whose parameters themselves contain commas), sweeps them as an
+// innermost axis, and renders the schedule column in text mode.
+func TestScheduleFlag(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-n", "64", "-k", "4",
+		"-schedule", "none,delay:p=0.5,edgefail:t=8,count=2,repair=20"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"sched=delay:p=0.5", "sched=edgefail:t=8,count=2,repair=20"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+
+	// JSONL rows carry the canonical schedule spec.
+	buf.Reset()
+	if err := run([]string{"-n", "64", "-k", "4", "-schedule", "reset:t=4", "-format", "jsonl"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"schedule":"reset:t=4"`) {
+		t.Errorf("JSONL row missing schedule field:\n%s", buf.String())
+	}
+
+	// The restab_time metric is reachable by name.
+	buf.Reset()
+	if err := run([]string{"-n", "32", "-k", "2", "-place", "random", "-pointers", "random",
+		"-schedule", "edgefail:t=64,count=1", "-metric", "restab_time"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "restab_time metric") {
+		t.Errorf("text output missing restab_time header:\n%s", buf.String())
+	}
+
+	// Malformed schedules fail fast.
+	if err := run([]string{"-n", "32", "-k", "2", "-schedule", "delay:p=7"}, &buf); err == nil {
+		t.Error("bad schedule accepted")
+	}
+}
+
+// TestSplitSchedules: the family-aware comma split keeps parameter
+// fragments attached to their spec.
+func TestSplitSchedules(t *testing.T) {
+	got := splitSchedules("none, edgefail:t=10,count=2 ,churn:join=1@2,leave=3@4,reset:t=9")
+	want := []string{"none", "edgefail:t=10,count=2", "churn:join=1@2,leave=3@4", "reset:t=9"}
+	if len(got) != len(want) {
+		t.Fatalf("splitSchedules = %q, want %q", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("splitSchedules[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}

@@ -69,8 +69,11 @@ func (m KernelMode) String() string {
 // concurrent use; experiments run independent Systems per goroutine.
 type System struct {
 	g *graph.Graph
-	n int
-	k int64
+	// g0 is the construction-time topology. Rewire (perturbation scenarios)
+	// swaps g; Reset restores g0 along with the initial configuration.
+	g0 *graph.Graph
+	n  int
+	k  int64
 
 	// st holds the flat configuration state shared with the stepping
 	// kernels; see kernel.State.
@@ -217,6 +220,7 @@ func NewSystem(g *graph.Graph, opts ...Option) (*System, error) {
 
 	s := &System{
 		g:         g,
+		g0:        g,
 		n:         n,
 		st:        kernel.NewState(n),
 		kmode:     c.kmode,
@@ -292,16 +296,26 @@ func NewSystem(g *graph.Graph, opts ...Option) (*System, error) {
 		s.arcCount = make([]int64, g.NumArcs())
 	}
 
-	// Flow and arc recording happen inside the generic move loop, so they
-	// exclude the specialized kernels.
-	if c.kmode != KernelGeneric && !c.flows && !c.arcs {
-		s.fast = kernel.Select(g, s.k, c.kmode == KernelFast)
-	}
+	s.reselectKernel()
 
 	if c.hash {
 		s.EnableConfigHash()
 	}
 	return s, nil
+}
+
+// reselectKernel re-evaluates the specialized-kernel choice for the current
+// graph, agent count and mode. Flow and arc recording happen inside the
+// generic move loop, so they exclude the specialized kernels. Called at
+// construction and again whenever the topology or population changes
+// (Rewire, AddAgents, RemoveAgents): fast paths re-specialize when the new
+// shape has a kernel and fall back to the generic engine otherwise.
+func (s *System) reselectKernel() {
+	if s.kmode != KernelGeneric && !s.recordFlows && !s.recordArcs {
+		s.fast = kernel.Select(s.g, s.k, s.kmode == KernelFast)
+	} else {
+		s.fast = nil
+	}
 }
 
 // Graph returns the topology the system runs on.
@@ -642,6 +656,7 @@ func (s *System) StateEqual(o *System) bool {
 func (s *System) Clone() *System {
 	c := &System{
 		g:               s.g,
+		g0:              s.g0,
 		n:               s.n,
 		k:               s.k,
 		st:              s.st.Clone(),
@@ -669,11 +684,23 @@ func (s *System) Clone() *System {
 	return c
 }
 
-// Reset restores the initial configuration (agents, pointers) and clears all
-// counters, allowing a fresh run on the same topology without reallocation.
+// Reset restores the initial configuration (topology, agents, pointers) and
+// clears all counters, allowing a fresh run without reallocation. A system
+// whose graph was swapped by Rewire returns to its construction-time
+// topology, and a population changed by AddAgents/RemoveAgents returns to
+// its initial size.
 func (s *System) Reset() {
+	if s.g != s.g0 {
+		s.g = s.g0
+		s.resizeArcBuffers()
+	}
+	s.k = 0
+	for _, c := range s.ag0 {
+		s.k += c
+	}
 	copy(s.st.Ptr, s.ptr0)
 	copy(s.st.Agents, s.ag0)
+	s.reselectKernel()
 	s.occupied = s.occupied[:0]
 	s.st.Covered = 0
 	s.st.CoverRound = -1

@@ -87,6 +87,41 @@ func KernelBenchCases() []KernelBenchCase {
 			return w.Step, nil
 		}
 	}
+	// The schedule-path case measures the perturbation subsystem's stepping
+	// cost: the same dense rotor workload behind the schedule runner with a
+	// permanent delay regime, so every round pays the per-node Binomial
+	// hold draw plus the generic held-round engine — the worst case of the
+	// scheduled path. Stated against rotor-generic, the gap is the price of
+	// the scenario layer, not of the wrapper (whose pass-through rounds
+	// delegate straight to the inner hot loop).
+	scheduled := func() (func(), error) {
+		g := graph.Ring(kernelBenchRotorN)
+		rng := xrand.New(1)
+		env := &JobEnv{
+			Graph: g,
+			Cell: Cell{Topology: "ring", N: kernelBenchRotorN, K: kernelBenchRotorK,
+				Placement: PlaceRandom, Pointer: PtrRandom},
+			Positions: core.RandomPositions(kernelBenchRotorN, kernelBenchRotorK, rng),
+			Seed:      1,
+			RNG:       rng,
+		}
+		p, err := newRotorProc(env)
+		if err != nil {
+			return nil, err
+		}
+		inst, err := parseSchedule("delay:p=0.25")
+		if err != nil {
+			return nil, err
+		}
+		sp, err := newScheduledProc(p, ProcRotor, inst, env)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < kernelBenchWarmup; i++ {
+			sp.Step()
+		}
+		return sp.Step, nil
+	}
 	ringName := fmt.Sprintf("ring(%d)", kernelBenchRotorN)
 	walkRing := fmt.Sprintf("ring(%d)", kernelBenchWalkN)
 	return []KernelBenchCase{
@@ -94,6 +129,8 @@ func KernelBenchCases() []KernelBenchCase {
 			NewStepper: rotor(core.KernelGeneric)},
 		{Name: "rotor-ring", Process: "rotor", Graph: ringName, K: kernelBenchRotorK,
 			Baseline: "rotor-generic", NewStepper: rotor(core.KernelFast)},
+		{Name: "rotor-sched-delay", Process: "rotor", Graph: ringName, K: kernelBenchRotorK,
+			Baseline: "rotor-generic", NewStepper: scheduled},
 		{Name: "walk-agents", Process: "walk", Graph: walkRing, K: kernelBenchWalkK,
 			NewStepper: walk(randwalk.ModeAgents)},
 		{Name: "walk-counts", Process: "walk", Graph: walkRing, K: kernelBenchWalkK,

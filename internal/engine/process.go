@@ -75,6 +75,106 @@ type ReturnMeasurer interface {
 	MeasureReturn(budget int64, preserve bool) (ReturnOutcome, error)
 }
 
+// The capabilities below are the mutation surface the schedule subsystem
+// (schedule.go, scheduled.go) drives. A process implements the subset it
+// supports; a schedule whose plan needs a missing capability fails as a
+// per-job row, not a crash — the same graceful degradation metrics use.
+
+// Holder is the capability of running delayed-deployment rounds (§2.1):
+// StepHeld advances one round in which held[v] agents at node v skip their
+// move, and ForEachOccupied enumerates the current population without
+// allocating (so the per-round hold draw stays cheap).
+type Holder interface {
+	StepHeld(held []int64)
+	ForEachOccupied(f func(v int, agents int64))
+}
+
+// Rewirer is the capability of swapping the topology mid-run (same node
+// set) — the edge-failure/repair primitive. Pointer processes receive the
+// transplanted pointer vector; pointer-less processes are passed nil and
+// ignore it.
+type Rewirer interface {
+	Rewire(g *graph.Graph, pointers []int) error
+}
+
+// PointerVector is the capability of exposing the full current pointer
+// vector, which the schedule runner transplants across a rewire.
+type PointerVector interface {
+	Pointers() []int
+}
+
+// PointerSetter is the capability of overwriting every pointer mid-run
+// (the rotor-reset perturbation).
+type PointerSetter interface {
+	SetPointers(pointers []int) error
+}
+
+// AgentJoiner and AgentLeaver are the churn capabilities: adding agents at
+// given positions, and removing one agent from each listed position.
+type AgentJoiner interface {
+	AddAgents(positions ...int) error
+}
+
+// AgentLeaver is the departure half of churn.
+type AgentLeaver interface {
+	RemoveAgents(positions ...int) error
+}
+
+// CoverageResetter is the capability of starting a fresh coverage epoch at
+// the current round (visit counters restart from the current positions),
+// on which the cover-after-fault metric is built.
+type CoverageResetter interface {
+	ResetCoverage()
+}
+
+// VisitCounter is the capability of reporting per-node visit counts; the
+// invariant test suite and custom probes use it.
+type VisitCounter interface {
+	Visits(v int) int64
+}
+
+// AgentCounter is the capability of reporting the current population size.
+type AgentCounter interface {
+	NumAgents() int64
+}
+
+// BulkRunner is the capability of advancing many rounds in one call
+// (the hot kernel loop); the schedule runner uses it between events and
+// falls back to Step otherwise.
+type BulkRunner interface {
+	Run(rounds int64)
+}
+
+// RestabOutcome is the result of a re-stabilization measurement.
+type RestabOutcome struct {
+	// Restab is the number of rounds from the measurement start until the
+	// configuration enters its limit cycle (μ of the post-fault system).
+	Restab int64
+	// Period is the limit-cycle length reached.
+	Period int64
+}
+
+// RestabMeasurer is the capability of measuring the stabilization time
+// from the current configuration (the rotor locates its limit cycle; see
+// the restab_time metric). budget bounds the additional rounds spent.
+type RestabMeasurer interface {
+	MeasureRestab(budget int64) (RestabOutcome, error)
+}
+
+// FaultRunner is the capability the perturbation metrics dispatch on: it
+// is implemented by the schedule runner, which advances the process
+// through its plan until every discrete perturbation has been applied and
+// returns that fault round (-1 when the plan has no fault boundary).
+type FaultRunner interface {
+	RunToFault() int64
+}
+
+// Cloner is the capability of deep-copying a job instance (the invariant
+// test suite exercises clone independence on every registered process).
+type Cloner interface {
+	CloneProc() Proc
+}
+
 // JobEnv is everything a process factory and a metric measurement may need
 // about the job at hand.
 type JobEnv struct {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"rotorring/internal/core"
+	"rotorring/internal/graph"
 	"rotorring/internal/randwalk"
 	"rotorring/internal/ringdom"
 	"rotorring/probe"
@@ -37,6 +38,16 @@ func init() {
 		BudgetHeadroom: 4,
 		Measure:        measureReturn,
 	})
+	RegisterMetric(&MetricDef{
+		Name:           MetricRestab,
+		BudgetHeadroom: 4,
+		Measure:        measureRestab,
+	})
+	RegisterMetric(&MetricDef{
+		Name:           MetricCoverAfterFault,
+		BudgetHeadroom: 4,
+		Measure:        measureCoverAfterFault,
+	})
 }
 
 // rotorProc adapts core.System to the registry's Proc surface.
@@ -59,14 +70,41 @@ func newRotorProc(env *JobEnv) (Proc, error) {
 	return &rotorProc{sys: sys}, nil
 }
 
-func (p *rotorProc) Step()            { p.sys.Step() }
-func (p *rotorProc) Round() int64     { return p.sys.Round() }
-func (p *rotorProc) Covered() int     { return p.sys.Covered() }
-func (p *rotorProc) Reset()           { p.sys.Reset() }
-func (p *rotorProc) Positions() []int { return p.sys.Positions() }
+func (p *rotorProc) Step()              { p.sys.Step() }
+func (p *rotorProc) Run(rounds int64)   { p.sys.Run(rounds) }
+func (p *rotorProc) Round() int64       { return p.sys.Round() }
+func (p *rotorProc) Covered() int       { return p.sys.Covered() }
+func (p *rotorProc) Reset()             { p.sys.Reset() }
+func (p *rotorProc) Positions() []int   { return p.sys.Positions() }
+func (p *rotorProc) Visits(v int) int64 { return p.sys.Visits(v) }
+func (p *rotorProc) NumAgents() int64   { return p.sys.NumAgents() }
+func (p *rotorProc) Pointers() []int    { return p.sys.Pointers() }
+func (p *rotorProc) ResetCoverage()     { p.sys.ResetCoverage() }
+func (p *rotorProc) CloneProc() Proc    { return &rotorProc{sys: p.sys.Clone()} }
+
+// Schedule capabilities (see process.go): the rotor supports the full
+// perturbation surface.
+func (p *rotorProc) StepHeld(held []int64)                   { p.sys.StepHeld(held) }
+func (p *rotorProc) ForEachOccupied(f func(v int, c int64))  { p.sys.ForEachOccupied(f) }
+func (p *rotorProc) Rewire(g *graph.Graph, ptrs []int) error { return p.sys.Rewire(g, ptrs) }
+func (p *rotorProc) SetPointers(ptrs []int) error            { return p.sys.SetPointers(ptrs) }
+func (p *rotorProc) AddAgents(positions ...int) error        { return p.sys.AddAgents(positions...) }
+func (p *rotorProc) RemoveAgents(positions ...int) error     { return p.sys.RemoveAgents(positions...) }
 
 func (p *rotorProc) RunUntilCovered(maxRounds int64) (int64, error) {
 	return p.sys.RunUntilCovered(maxRounds)
+}
+
+// MeasureRestab implements RestabMeasurer: μ of the current configuration,
+// the number of rounds until the system locks into its limit cycle —
+// measured after a perturbation, this is the re-stabilization time of
+// Bampas et al. (X9).
+func (p *rotorProc) MeasureRestab(budget int64) (RestabOutcome, error) {
+	lc, err := core.FindLimitCycle(p.sys, budget, true)
+	if err != nil {
+		return RestabOutcome{}, err
+	}
+	return RestabOutcome{Restab: lc.StabilizationRound, Period: lc.Period}, nil
 }
 
 // NumDomains implements probe.DomainCounter for the domain-count probe.
@@ -117,11 +155,22 @@ func newWalkProc(env *JobEnv) (Proc, error) {
 }
 
 func (p *walkProc) Step()              { p.w.Step() }
+func (p *walkProc) Run(rounds int64)   { p.w.Run(rounds) }
 func (p *walkProc) Round() int64       { return p.w.Round() }
 func (p *walkProc) Covered() int       { return p.w.Covered() }
 func (p *walkProc) Reset()             { p.w.Reset() }
 func (p *walkProc) Positions() []int   { return p.w.Positions() }
 func (p *walkProc) Reseed(seed uint64) { p.w.Reseed(seed) }
+func (p *walkProc) Visits(v int) int64 { return p.w.Visits(v) }
+func (p *walkProc) NumAgents() int64   { return int64(p.w.NumWalkers()) }
+func (p *walkProc) ResetCoverage()     { p.w.ResetCoverage() }
+func (p *walkProc) CloneProc() Proc    { return &walkProc{w: p.w.Clone(), n: p.n, k: p.k} }
+
+// Schedule capabilities: walkers have no pointers and no held rounds, but
+// support rewiring and churn.
+func (p *walkProc) Rewire(g *graph.Graph, _ []int) error { return p.w.Rewire(g) }
+func (p *walkProc) AddAgents(positions ...int) error     { return p.w.AddWalkers(positions...) }
+func (p *walkProc) RemoveAgents(positions ...int) error  { return p.w.RemoveWalkers(positions...) }
 
 func (p *walkProc) RunUntilCovered(maxRounds int64) (int64, error) {
 	return p.w.RunUntilCovered(maxRounds)
@@ -208,4 +257,82 @@ func measureReturn(p Proc, env *JobEnv, budget int64, row *Row) {
 	row.Period = out.Period
 	row.MinVisits = out.MinVisits
 	row.MaxVisits = out.MaxVisits
+}
+
+// runToFault advances a scheduled job through its perturbations, the shared
+// front half of the perturbation metrics. It fails the row when the job has
+// no schedule, the schedule has no fault boundary, or the fault lies beyond
+// the round budget.
+func runToFault(p Proc, metric string, budget int64, row *Row) (int64, bool) {
+	fr, ok := p.(FaultRunner)
+	if !ok {
+		row.Err = fmt.Sprintf("engine: metric %q requires a schedule with a fault event (cell has none)", metric)
+		return 0, false
+	}
+	fault := fr.RunToFault()
+	if fault < 0 {
+		row.Err = fmt.Sprintf("engine: metric %q requires a schedule with a bounded fault (schedule %q has none)", metric, row.Schedule)
+		return 0, false
+	}
+	if fault >= budget {
+		row.Rounds = p.Round()
+		row.Err = fmt.Sprintf("engine: fault round %d exceeds the round budget %d", fault, budget)
+		return 0, false
+	}
+	return fault, true
+}
+
+// measureRestab is the re-stabilization metric (X9): run the schedule to
+// its fault boundary, then measure how many rounds the perturbed system
+// needs to lock into its limit cycle (μ of the post-fault configuration).
+// Value is that re-stabilization time; Period the limit cycle reached.
+func measureRestab(p Proc, env *JobEnv, budget int64, row *Row) {
+	fault, ok := runToFault(p, MetricRestab, budget, row)
+	if !ok {
+		return
+	}
+	// Dispatch on the measurement target: the schedule runner never
+	// fabricates capabilities its inner process lacks.
+	rm, ok := measureTarget(p).(RestabMeasurer)
+	if !ok {
+		row.Err = fmt.Sprintf("engine: process %q does not measure %q", row.Process, MetricRestab)
+		return
+	}
+	out, err := rm.MeasureRestab(budget - fault)
+	row.Rounds = p.Round()
+	if err != nil {
+		row.Err = err.Error()
+		return
+	}
+	row.Value = float64(out.Restab)
+	row.Period = out.Period
+}
+
+// measureCoverAfterFault is the re-coverage metric: run the schedule to its
+// fault boundary, restart the coverage epoch from the surviving positions,
+// and measure the rounds until the (possibly rewired) graph is fully
+// covered again. Value is cover round minus fault round.
+func measureCoverAfterFault(p Proc, env *JobEnv, budget int64, row *Row) {
+	fault, ok := runToFault(p, MetricCoverAfterFault, budget, row)
+	if !ok {
+		return
+	}
+	cr, ok := measureTarget(p).(CoverageResetter)
+	if !ok {
+		row.Err = fmt.Sprintf("engine: process %q does not measure %q", row.Process, MetricCoverAfterFault)
+		return
+	}
+	cr.ResetCoverage()
+	runner, ok := p.(CoverRunner)
+	if !ok {
+		row.Err = fmt.Sprintf("engine: process %q does not measure %q", row.Process, MetricCoverAfterFault)
+		return
+	}
+	cover, err := runner.RunUntilCovered(budget)
+	row.Rounds = p.Round()
+	if err != nil {
+		row.Err = err.Error()
+		return
+	}
+	row.Value = float64(cover - fault)
 }

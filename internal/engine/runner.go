@@ -131,13 +131,21 @@ func CoverBudget(g *graph.Graph) int64 {
 	return b
 }
 
-// budget returns the round budget for one job: the explicit MaxRounds, or
-// the registry's automatic rule.
-func budget(spec *SweepSpec, g *graph.Graph) int64 {
+// budget returns the round budget for one job: the explicit MaxRounds
+// (taken literally, schedules included — the caller asked for that exact
+// cap), or the registry's automatic rule extended for perturbed cells:
+// auto·Factor + Offset from the schedule's plan, so a faulted run keeps a
+// full post-event budget instead of hitting the static cap and reporting
+// non-coverage (see DESIGN.md, round budgets).
+func budget(spec *SweepSpec, c Cell, g *graph.Graph) int64 {
 	if spec.MaxRounds > 0 {
 		return spec.MaxRounds
 	}
-	return AutoBudget(g, spec.Process, spec.Metric)
+	b := AutoBudget(g, spec.Process, spec.Metric)
+	if plan := c.sched.plan; plan != nil && !c.sched.none() {
+		b = b*plan.BudgetFactor + plan.BudgetOffset
+	}
+	return b
 }
 
 // baseRow fills the identity columns of one job's row.
@@ -208,7 +216,9 @@ func (w *worker) runJob(spec *SweepSpec, c Cell, replica int) Row {
 		p = w.proto
 		// Randomized processes rewind their generator to the replica's
 		// deterministic state before the reuse; deterministic ones have
-		// nothing to rewind.
+		// nothing to rewind. A cached schedule runner also rewinds its
+		// schedule stream here (its Reseeder re-derives from the job seed)
+		// and its plan cursor in Reset.
 		if r, ok := p.(Reseeder); ok {
 			r.Reseed(seed)
 		}
@@ -219,11 +229,23 @@ func (w *worker) runJob(spec *SweepSpec, c Cell, replica int) Row {
 			row.Err = err.Error()
 			return row
 		}
+		// Perturbed cells run behind the schedule runner, which applies the
+		// cell's compiled plan while stepping; a schedule the process lacks
+		// the capabilities for fails as this job's error row.
+		if !c.sched.none() {
+			sp, err := newScheduledProc(p, spec.Process, c.sched, env)
+			if err != nil {
+				row.Err = err.Error()
+				return row
+			}
+			p = sp
+		}
 		// Cache only instances whose reuse is equivalent to a fresh build:
 		// a randomized process must implement Reseeder, or the next replica
 		// would continue this replica's random stream — whose content
 		// depends on which worker ran it, breaking the engine's
-		// worker-count determinism contract.
+		// worker-count determinism contract. (The schedule runner always
+		// reseeds, forwarding to a randomized inner process.)
 		_, reseeds := p.(Reseeder)
 		if deterministic && (!def.Randomized || reseeds) {
 			w.protoCell, w.protoName, w.proto = c.Index, spec.Process, p
@@ -232,7 +254,7 @@ func (w *worker) runJob(spec *SweepSpec, c Cell, replica int) Row {
 		}
 	}
 
-	met.Measure(p, env, budget(spec, g), &row)
+	met.Measure(p, env, budget(spec, c, g), &row)
 	return row
 }
 

@@ -1,0 +1,273 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+)
+
+// This file registers the built-in schedule families. They are ordinary
+// registry entries: a further scenario family registers the same way, from
+// any package, without touching the engine.
+//
+//	none                                  pristine static run (the default)
+//	delay:p=<prob>[,until=<round>]        delayed deployments (§2.1, X7)
+//	edgefail:t=<r>,count=<c>[,repair=<r>] edge failure (+ repair) (X9)
+//	churn:join=<c>@<r>[,leave=<c>@<r>]    agent arrival / departure
+//	reset:t=<round>                       rotor-pointer reset
+//
+// Canonical forms are parse/String fixed points, like topology specs
+// (FuzzParseSchedule pins the round trip).
+
+func init() {
+	RegisterSchedule(noneDef())
+	RegisterSchedule(delayDef())
+	RegisterSchedule(edgefailDef())
+	RegisterSchedule(churnDef())
+	RegisterSchedule(resetDef())
+}
+
+// noneDef is the no-perturbation schedule: an empty plan. Cells carrying it
+// are not wrapped at all, so unscheduled sweeps run — and serialize — byte-
+// identically to the pre-schedule engine.
+func noneDef() *ScheduleDef {
+	return &ScheduleDef{
+		Name: SchedNone,
+		Parse: func(params string) (string, error) {
+			if params != "" {
+				return "", fmt.Errorf("none takes no parameters")
+			}
+			return "", nil
+		},
+		Compile: func(string) (*SchedulePlan, error) {
+			return (&SchedulePlan{}).finalize(), nil
+		},
+	}
+}
+
+// delayDef is the delayed-deployment regime of §2.1 (Lemmas 1 and 3):
+// every round, each agent independently skips its move with probability p,
+// until round `until` (unbounded when absent). Holds only slow coverage —
+// experiment X7 checks the bracket. The budget factor scales with the
+// expected slow-down 1/(1-p).
+func delayDef() *ScheduleDef {
+	const maxP = 0.95 // keeps the budget extension bounded
+	return &ScheduleDef{
+		Name: "delay",
+		Parse: func(params string) (string, error) {
+			kv, err := kvPairs(params, map[string]string{"p": "probability", "until": "round"})
+			if err != nil {
+				return "", err
+			}
+			ps, ok := kv["p"]
+			if !ok {
+				return "", fmt.Errorf("delay needs p (delay:p=<prob in (0,%g]>)", maxP)
+			}
+			p, err := strconv.ParseFloat(ps, 64)
+			if err != nil || !(p > 0) || p > maxP {
+				return "", fmt.Errorf("p=%s: want a probability in (0,%g]", ps, maxP)
+			}
+			canon := "p=" + formatFloat(p)
+			if us, ok := kv["until"]; ok {
+				u, err := roundValue("until", us)
+				if err != nil {
+					return "", err
+				}
+				canon += ",until=" + strconv.FormatInt(u, 10)
+			}
+			return canon, nil
+		},
+		Compile: func(params string) (*SchedulePlan, error) {
+			kv, err := kvPairs(params, map[string]string{"p": "probability", "until": "round"})
+			if err != nil {
+				return nil, err
+			}
+			p, err := strconv.ParseFloat(kv["p"], 64)
+			if err != nil {
+				return nil, err
+			}
+			plan := &SchedulePlan{
+				HoldP:     p,
+				HoldUntil: math.MaxInt64,
+				// Holding a p-fraction stretches coverage by ~1/(1-p);
+				// doubled for slack, bounded because p <= maxP.
+				BudgetFactor: 2 * int64(math.Ceil(1/(1-p))),
+			}
+			if us, ok := kv["until"]; ok {
+				if plan.HoldUntil, err = roundValue("until", us); err != nil {
+					return nil, err
+				}
+			}
+			return plan.finalize(), nil
+		},
+	}
+}
+
+// edgefailDef deletes count non-bridge edges at round t and optionally
+// restores them at round repair — the Bampas et al. robustness scenario
+// (X9: re-stabilization within O(D·|E|)).
+func edgefailDef() *ScheduleDef {
+	keys := map[string]string{"t": "round", "count": "count", "repair": "round"}
+	return &ScheduleDef{
+		Name: "edgefail",
+		Parse: func(params string) (string, error) {
+			kv, err := kvPairs(params, keys)
+			if err != nil {
+				return "", err
+			}
+			ts, ok := kv["t"]
+			if !ok {
+				return "", fmt.Errorf("edgefail needs t (edgefail:t=<round>[,count=<c>][,repair=<round>])")
+			}
+			t, err := roundValue("t", ts)
+			if err != nil {
+				return "", err
+			}
+			count := 1
+			if cs, ok := kv["count"]; ok {
+				if count, err = countValue("count", cs); err != nil {
+					return "", err
+				}
+			}
+			canon := fmt.Sprintf("t=%d,count=%d", t, count)
+			if rs, ok := kv["repair"]; ok {
+				r, err := roundValue("repair", rs)
+				if err != nil {
+					return "", err
+				}
+				if r <= t {
+					return "", fmt.Errorf("repair=%d must come after t=%d", r, t)
+				}
+				canon += fmt.Sprintf(",repair=%d", r)
+			}
+			return canon, nil
+		},
+		Compile: func(params string) (*SchedulePlan, error) {
+			kv, err := kvPairs(params, keys)
+			if err != nil {
+				return nil, err
+			}
+			t, err := roundValue("t", kv["t"])
+			if err != nil {
+				return nil, err
+			}
+			count, err := countValue("count", kv["count"])
+			if err != nil {
+				return nil, err
+			}
+			plan := &SchedulePlan{
+				Events: []ScheduleEvent{{Round: t, Kind: EvEdgeFail, Count: count}},
+				// Cutting edges can reshape the cover bound (ring -> path);
+				// doubled headroom absorbs it.
+				BudgetFactor: 2,
+			}
+			if rs, ok := kv["repair"]; ok {
+				r, err := roundValue("repair", rs)
+				if err != nil {
+					return nil, err
+				}
+				plan.Events = append(plan.Events, ScheduleEvent{Round: r, Kind: EvRepair})
+			}
+			return plan.finalize(), nil
+		},
+	}
+}
+
+// churnDef adds and/or removes agents mid-run: join=<count>@<round> places
+// new agents at schedule-stream positions, leave=<count>@<round> removes
+// uniformly chosen agents (never the last one).
+func churnDef() *ScheduleDef {
+	keys := map[string]string{"join": "count@round", "leave": "count@round"}
+	return &ScheduleDef{
+		Name: "churn",
+		Parse: func(params string) (string, error) {
+			kv, err := kvPairs(params, keys)
+			if err != nil {
+				return "", err
+			}
+			if len(kv) == 0 {
+				return "", fmt.Errorf("churn needs join=<c>@<r> and/or leave=<c>@<r>")
+			}
+			canon := ""
+			if js, ok := kv["join"]; ok {
+				c, r, err := countAt("join", js)
+				if err != nil {
+					return "", err
+				}
+				canon = fmt.Sprintf("join=%d@%d", c, r)
+			}
+			if ls, ok := kv["leave"]; ok {
+				c, r, err := countAt("leave", ls)
+				if err != nil {
+					return "", err
+				}
+				if canon != "" {
+					canon += ","
+				}
+				canon += fmt.Sprintf("leave=%d@%d", c, r)
+			}
+			return canon, nil
+		},
+		Compile: func(params string) (*SchedulePlan, error) {
+			kv, err := kvPairs(params, keys)
+			if err != nil {
+				return nil, err
+			}
+			plan := &SchedulePlan{BudgetFactor: 2}
+			if js, ok := kv["join"]; ok {
+				c, r, err := countAt("join", js)
+				if err != nil {
+					return nil, err
+				}
+				plan.Events = append(plan.Events, ScheduleEvent{Round: r, Kind: EvJoin, Count: c})
+			}
+			if ls, ok := kv["leave"]; ok {
+				c, r, err := countAt("leave", ls)
+				if err != nil {
+					return nil, err
+				}
+				plan.Events = append(plan.Events, ScheduleEvent{Round: r, Kind: EvLeave, Count: c})
+			}
+			return plan.finalize(), nil
+		},
+	}
+}
+
+// resetDef rewinds every rotor pointer to port 0 at round t, modeling a
+// coordinated state loss; the system must re-stabilize from its current
+// positions.
+func resetDef() *ScheduleDef {
+	keys := map[string]string{"t": "round"}
+	return &ScheduleDef{
+		Name: "reset",
+		Parse: func(params string) (string, error) {
+			kv, err := kvPairs(params, keys)
+			if err != nil {
+				return "", err
+			}
+			ts, ok := kv["t"]
+			if !ok {
+				return "", fmt.Errorf("reset needs t (reset:t=<round>)")
+			}
+			t, err := roundValue("t", ts)
+			if err != nil {
+				return "", err
+			}
+			return fmt.Sprintf("t=%d", t), nil
+		},
+		Compile: func(params string) (*SchedulePlan, error) {
+			kv, err := kvPairs(params, keys)
+			if err != nil {
+				return nil, err
+			}
+			t, err := roundValue("t", kv["t"])
+			if err != nil {
+				return nil, err
+			}
+			return (&SchedulePlan{
+				Events:       []ScheduleEvent{{Round: t, Kind: EvReset}},
+				BudgetFactor: 2,
+			}).finalize(), nil
+		},
+	}
+}

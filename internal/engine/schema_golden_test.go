@@ -1,0 +1,210 @@
+package engine
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// This file pins the serialized row formats:
+//
+//   - The JSONL row schema (field set and ordering) for scheduled and
+//     unscheduled sweeps, against committed golden files — so a field
+//     rename, reorder or omitempty change is a conscious decision, not an
+//     accident.
+//   - Seed compatibility: sweeps with Schedules nil produce byte-identical
+//     JSONL and CSV to the output committed before the schedule subsystem
+//     existed (PR 4). Schedules ride on new fields and a new grid axis;
+//     they may not perturb a single byte of unscheduled output.
+//
+// Regenerate the schema goldens (never the seedcompat ones — those are the
+// compatibility contract) with: go test ./internal/engine -run
+// TestJSONLRowSchema -update-golden
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite the schema golden files")
+
+// seedcompatSpecs are the exact sweeps whose output was committed at PR 4.
+// Do not edit: the goldens are the contract.
+func seedcompatSpecs() map[string]SweepSpec {
+	return map[string]SweepSpec{
+		"seedcompat_rotor": {
+			Topologies: []Topo{"ring", "path:24"},
+			Sizes:      []int{16, 24},
+			Agents:     []int{1, 3},
+			Placements: []Placement{PlaceSingle, PlaceEqual},
+			Pointers:   []Pointer{PtrZero, PtrToward},
+			Process:    "rotor",
+			Metric:     "cover",
+			Probes:     []ProbeSpec{{Name: "coverage", Stride: 64}},
+			Replicas:   2,
+			Seed:       42,
+		},
+		"seedcompat_walk": {
+			Topologies: []Topo{"ring"},
+			Sizes:      []int{32},
+			Agents:     []int{4},
+			Placements: []Placement{PlaceRandom},
+			Process:    "walk",
+			Metric:     "cover",
+			Replicas:   3,
+			Seed:       7,
+		},
+		"seedcompat_return": {
+			Topologies: []Topo{"ring"},
+			Sizes:      []int{16},
+			Agents:     []int{2},
+			Placements: []Placement{PlaceSingle},
+			Pointers:   []Pointer{PtrToward},
+			Process:    "rotor",
+			Metric:     "return",
+			Replicas:   1,
+			Seed:       5,
+		},
+	}
+}
+
+// TestSeedCompatPR4 proves Schedules: nil sweeps stay byte-identical to the
+// output the engine produced before the schedule subsystem landed.
+func TestSeedCompatPR4(t *testing.T) {
+	for name, spec := range seedcompatSpecs() {
+		t.Run(name, func(t *testing.T) {
+			var jsonl, csv bytes.Buffer
+			if _, err := New(Workers(3)).Run(spec, NewJSONLSink(&jsonl), NewCSVSink(&csv)); err != nil {
+				t.Fatal(err)
+			}
+			for ext, got := range map[string][]byte{"jsonl": jsonl.Bytes(), "csv": csv.Bytes()} {
+				want, err := os.ReadFile(filepath.Join("testdata", name+"."+ext))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(got, want) {
+					t.Errorf("%s.%s output drifted from the PR 4 golden (%d vs %d bytes)",
+						name, ext, len(got), len(want))
+				}
+			}
+		})
+	}
+}
+
+// rowFieldOrder extracts the top-level key sequence of the first JSONL row.
+func rowFieldOrder(t *testing.T, jsonl []byte) []string {
+	t.Helper()
+	line, _, _ := bytes.Cut(jsonl, []byte("\n"))
+	dec := json.NewDecoder(bytes.NewReader(line))
+	var keys []string
+	depth := 0
+	expectKey := false
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			break
+		}
+		switch v := tok.(type) {
+		case json.Delim:
+			switch v {
+			case '{':
+				depth++
+				expectKey = depth == 1
+			case '}':
+				depth--
+				expectKey = false
+			case '[', ']':
+				expectKey = false
+			}
+		case string:
+			if depth == 1 && expectKey {
+				keys = append(keys, v)
+				// Skip the value (may be an object/array of its own).
+				var raw json.RawMessage
+				if err := dec.Decode(&raw); err != nil {
+					t.Fatalf("decode value of %q: %v", v, err)
+				}
+			}
+		}
+	}
+	return keys
+}
+
+// TestJSONLRowSchema pins the JSONL field set and ordering for scheduled
+// and unscheduled rows against the committed schema goldens.
+func TestJSONLRowSchema(t *testing.T) {
+	base := SweepSpec{
+		Topologies: []Topo{"ring"},
+		Sizes:      []int{16},
+		Agents:     []int{2},
+		Placements: []Placement{PlaceSingle},
+		Pointers:   []Pointer{PtrToward},
+		Probes:     []ProbeSpec{{Name: "coverage", Stride: 8}},
+		Seed:       1,
+	}
+	cases := map[string]SweepSpec{"jsonl_schema_unscheduled": base}
+	sched := base
+	sched.Schedules = []Schedule{"reset:t=4"}
+	cases["jsonl_schema_scheduled"] = sched
+
+	for name, spec := range cases {
+		t.Run(name, func(t *testing.T) {
+			var jsonl bytes.Buffer
+			rows, err := New(Workers(1)).Run(spec, NewJSONLSink(&jsonl))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rows[0].Err != "" {
+				t.Fatal(rows[0].Err)
+			}
+			got := strings.Join(rowFieldOrder(t, jsonl.Bytes()), "\n") + "\n"
+			path := filepath.Join("testdata", name+".golden")
+			if *updateGolden {
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v (run with -update-golden to create)", err)
+			}
+			if got != string(want) {
+				t.Errorf("JSONL row schema drifted.\ngot:\n%s\nwant:\n%s", got, want)
+			}
+		})
+	}
+}
+
+// TestScheduledRowsAddOnlySchemaFields: the scheduled schema is the
+// unscheduled schema plus the schedule column — schedules never remove or
+// reorder existing fields.
+func TestScheduledRowsAddOnlySchemaFields(t *testing.T) {
+	read := func(name string) []string {
+		b, err := os.ReadFile(filepath.Join("testdata", name+".golden"))
+		if err != nil {
+			t.Fatalf("%v (run TestJSONLRowSchema with -update-golden first)", err)
+		}
+		return strings.Fields(string(b))
+	}
+	plain, sched := read("jsonl_schema_unscheduled"), read("jsonl_schema_scheduled")
+	i := 0
+	for _, f := range sched {
+		if i < len(plain) && plain[i] == f {
+			i++
+		} else if f != "schedule" {
+			t.Fatalf("scheduled schema inserts unexpected field %q", f)
+		}
+	}
+	if i != len(plain) {
+		t.Fatalf("scheduled schema drops unscheduled fields: %v vs %v", sched, plain)
+	}
+}
+
+// TestCSVHeaderPinned: the CSV sink's fixed column set is part of the
+// compatibility contract (schedules ride in JSONL only).
+func TestCSVHeaderPinned(t *testing.T) {
+	want := "cell,topology,n,k,placement,pointer,process,metric,replica,seed,value,rounds,period,min_visits,max_visits,err"
+	if got := strings.Join(csvHeader, ","); got != want {
+		t.Errorf("CSV header changed:\ngot  %s\nwant %s", got, want)
+	}
+}

@@ -225,6 +225,11 @@ func (s *SummarySink) WriteTable(w io.Writer) error {
 		if err != nil {
 			return err
 		}
+		if c.Cell.Schedule != "" {
+			if _, err := fmt.Fprintf(w, " sched=%s", c.Cell.Schedule); err != nil {
+				return err
+			}
+		}
 		if c.Failed > 0 {
 			if _, err := fmt.Fprintf(w, " failed=%d", c.Failed); err != nil {
 				return err

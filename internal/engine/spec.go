@@ -179,6 +179,16 @@ const (
 	// time for the rotor (Theorem 6), the mean inter-visit gap over a long
 	// window for walks (the paper's closing comparison).
 	MetricReturn = "return"
+	// MetricRestab measures the re-stabilization time after a perturbation
+	// (X9 / Bampas et al.): the rounds the system needs, from the
+	// schedule's fault boundary, to lock into its limit cycle. Requires a
+	// schedule with a fault event.
+	MetricRestab = "restab_time"
+	// MetricCoverAfterFault measures re-coverage: the rounds from the
+	// schedule's fault boundary until the (possibly rewired) graph is
+	// fully covered again, counting from a fresh coverage epoch. Requires
+	// a schedule with a fault event.
+	MetricCoverAfterFault = "cover_after_fault"
 )
 
 // SweepSpec describes a grid of experiment configurations: the cross
@@ -235,10 +245,22 @@ type SweepSpec struct {
 	// are bit-identical across tiers; walk trials are resampled (see
 	// Kernel). Seeds never depend on it.
 	Kernel Kernel `json:"kernel,omitempty"`
+	// Schedules lists the perturbation schedules to sweep (see the schedule
+	// registry in schedule.go for the grammar and RegisterSchedule for
+	// adding families): "none", "delay:p=0.25", "edgefail:t=1000,count=4",
+	// "churn:join=8@500,leave=4@900", "reset:t=256". The schedule is an
+	// innermost grid axis; empty selects the single schedule "none", whose
+	// cells — and rows — are exactly those of an unscheduled sweep. Job
+	// seeds deliberately do not depend on the schedule, so the same cell
+	// under different schedules starts from the same initial configuration
+	// and rows are directly comparable; only the schedule's own event
+	// stream is derived from the schedule spec.
+	Schedules []Schedule `json:"schedules,omitempty"`
 
 	// topos is the parsed, validated form of Topologies, filled by
-	// withDefaults.
-	topos []topoInstance
+	// withDefaults; scheds the compiled form of Schedules.
+	topos  []topoInstance
+	scheds []schedInstance
 }
 
 // withDefaults returns a copy with defaults filled in and the grid
@@ -342,6 +364,41 @@ func (s SweepSpec) withDefaults() (SweepSpec, error) {
 	if len(s.Probes) > 0 && s.Metric != MetricCover {
 		return s, fmt.Errorf("engine: probes require the %q metric (got %q)", MetricCover, s.Metric)
 	}
+	// Parse and compile every schedule spec eagerly (cheap string work,
+	// like topologies) so malformed specs fail the sweep up front. The
+	// canonical forms replace the caller's spellings, mirroring Topologies.
+	if len(s.Schedules) == 0 {
+		s.Schedules = []Schedule{SchedNone}
+	}
+	s.scheds = make([]schedInstance, 0, len(s.Schedules))
+	schedCanon := make([]Schedule, len(s.Schedules))
+	perturbed := false
+	faulted := false
+	for i, sc := range s.Schedules {
+		inst, err := parseSchedule(string(sc))
+		if err != nil {
+			return s, err
+		}
+		schedCanon[i] = Schedule(inst.canonical)
+		s.scheds = append(s.scheds, inst)
+		if !inst.none() {
+			perturbed = true
+		}
+		if inst.plan.FaultRound >= 0 {
+			faulted = true
+		}
+	}
+	s.Schedules = schedCanon
+	if perturbed && s.Metric == MetricReturn {
+		// The recurrence metric measures the unperturbed limit behavior
+		// from round 0; running it under a schedule would silently ignore
+		// the schedule, so reject the combination up front.
+		return s, fmt.Errorf("engine: the %q metric does not support schedules", MetricReturn)
+	}
+	if (s.Metric == MetricRestab || s.Metric == MetricCoverAfterFault) && !faulted {
+		return s, fmt.Errorf("engine: the %q metric requires at least one schedule with a bounded fault (got %s)",
+			s.Metric, scheduleList(s.Schedules))
+	}
 	// Topology specs were parsed and validated above without constructing
 	// any graph (building huge topologies just to validate would be worse
 	// than late failure); out-of-range axis sizes still surface as per-job
@@ -349,11 +406,21 @@ func (s SweepSpec) withDefaults() (SweepSpec, error) {
 	return s, nil
 }
 
+// scheduleList renders a schedule list for error messages.
+func scheduleList(scheds []Schedule) string {
+	parts := make([]string, len(scheds))
+	for i, s := range scheds {
+		parts[i] = string(s)
+	}
+	return strings.Join(parts, ",")
+}
+
 // Cell is one grid point of a sweep: a fully specified configuration, run
 // Replicas times by one worker.
 type Cell struct {
 	// Index is the cell's position in the canonical grid order
-	// (topologies outermost, then sizes, agents, placements, pointers).
+	// (topologies outermost, then sizes, agents, placements, pointers,
+	// schedules innermost).
 	Index int `json:"cell"`
 	// Topology is the canonical topology spec as listed in the sweep
 	// ("ring", "grid:64x32", "rr:3").
@@ -365,16 +432,21 @@ type Cell struct {
 	Spec string `json:"spec,omitempty"`
 	// N is the size parameter: the Sizes-axis value for axis-sized specs,
 	// the implied size for self-sized ones.
-	N         int       `json:"n"`
-	K         int       `json:"k"`
+	N int `json:"n"`
+	K int `json:"k"`
+	// Schedule is the canonical perturbation-schedule spec of the cell,
+	// empty for unperturbed cells (schedule "none") — so unscheduled rows
+	// serialize exactly as they did before schedules existed.
+	Schedule  string    `json:"schedule,omitempty"`
 	Placement Placement `json:"-"`
 	Pointer   Pointer   `json:"-"`
 
 	// inst is the parsed topology, carried so workers can key the graph
-	// cache and build without re-parsing. Cells compared with
-	// reflect.DeepEqual stay equal across runs: inst points into the
-	// process-wide registry.
-	inst topoInstance
+	// cache and build without re-parsing; sched is the compiled schedule.
+	// Cells compared with reflect.DeepEqual stay equal across runs: both
+	// point into the process-wide registry.
+	inst  topoInstance
+	sched schedInstance
 }
 
 // Cells expands the grid in canonical order. The cell order — and therefore
@@ -390,9 +462,10 @@ func (s SweepSpec) Cells() ([]Cell, error) {
 // expand builds the canonical cell grid of an already-normalized spec.
 // Self-sized topologies contribute one size cell (their implied size)
 // instead of fanning out over the Sizes axis, which does not apply to
-// them.
+// them. Schedules are the innermost axis, so a configuration's schedule
+// variants (perturbed next to pristine) land adjacently in the stream.
 func (s SweepSpec) expand() []Cell {
-	cells := make([]Cell, 0, len(s.topos)*len(s.Sizes)*len(s.Agents)*len(s.Placements)*len(s.Pointers))
+	cells := make([]Cell, 0, len(s.topos)*len(s.Sizes)*len(s.Agents)*len(s.Placements)*len(s.Pointers)*len(s.scheds))
 	for _, inst := range s.topos {
 		sizes := s.Sizes
 		if inst.size != 0 {
@@ -402,16 +475,20 @@ func (s SweepSpec) expand() []Cell {
 			for _, k := range s.Agents {
 				for _, pl := range s.Placements {
 					for _, pt := range s.Pointers {
-						cells = append(cells, Cell{
-							Index:     len(cells),
-							Topology:  inst.canonical,
-							Spec:      inst.resolved(n),
-							N:         n,
-							K:         k,
-							Placement: pl,
-							Pointer:   pt,
-							inst:      inst,
-						})
+						for _, sc := range s.scheds {
+							cells = append(cells, Cell{
+								Index:     len(cells),
+								Topology:  inst.canonical,
+								Spec:      inst.resolved(n),
+								N:         n,
+								K:         k,
+								Schedule:  sc.cellName(),
+								Placement: pl,
+								Pointer:   pt,
+								inst:      inst,
+								sched:     sc,
+							})
+						}
 					}
 				}
 			}

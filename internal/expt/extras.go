@@ -7,6 +7,7 @@ import (
 	"rotorring/internal/continuum"
 	"rotorring/internal/core"
 	"rotorring/internal/deploy"
+	"rotorring/internal/engine"
 	"rotorring/internal/graph"
 	"rotorring/internal/remote"
 	"rotorring/internal/ringdom"
@@ -499,6 +500,49 @@ func expX7() *Experiment {
 			}
 			bracketOK := dres.FullyActiveRounds <= cover && cover <= dres.CoverRounds
 
+			// Part 3: the same law through the registry — the schedule
+			// subsystem's "delay" family on the sweep engine. Job seeds do
+			// not depend on the schedule, so each (configuration, replica)
+			// pair starts identically under "none" and "delay:p=0.5" and
+			// the delayed cover time must dominate the pristine one.
+			sns, sks, sreps := []int{48, 96}, []int{2, 4}, 2
+			if cfg.Scale == Full {
+				sns, sks, sreps = []int{96, 192}, []int{2, 4, 8}, 3
+			}
+			rows, err := engine.New(engine.Workers(cfg.Workers)).Run(engine.SweepSpec{
+				Topologies: []engine.Topo{"ring"},
+				Sizes:      sns,
+				Agents:     sks,
+				Placements: []engine.Placement{engine.PlaceRandom},
+				Pointers:   []engine.Pointer{engine.PtrRandom},
+				Schedules:  []engine.Schedule{"none", "delay:p=0.5"},
+				Replicas:   sreps,
+				Seed:       cfg.Seed + 11,
+			})
+			if err != nil {
+				return nil, err
+			}
+			pristine := map[string]float64{} // (n,k,replica) -> cover
+			pairKey := func(n, k, rep int) string { return fmt.Sprintf("%d/%d/%d", n, k, rep) }
+			for _, r := range rows {
+				if r.Err != "" {
+					return nil, fmt.Errorf("X7: n=%d k=%d replica=%d: %s", r.N, r.K, r.Replica, r.Err)
+				}
+				if r.Cell.Schedule == "" {
+					pristine[pairKey(r.N, r.K, r.Replica)] = r.Value
+				}
+			}
+			schedPairs, schedViolations := 0, 0
+			for _, r := range rows {
+				if r.Cell.Schedule == "" {
+					continue
+				}
+				schedPairs++
+				if r.Value < pristine[pairKey(r.N, r.K, r.Replica)] {
+					schedViolations++
+				}
+			}
+
 			table := &Table{
 				Title:   "X7: delayed-deployment laws",
 				Headers: []string{"check", "setup", "result"},
@@ -508,6 +552,8 @@ func expX7() *Experiment {
 					{"Lemma 3 bracket", fmt.Sprintf("path n=%d k=%d (Theorem 1 deployment)", pn, pk),
 						fmt.Sprintf("τ=%d <= C=%d <= T=%d : %v",
 							dres.FullyActiveRounds, cover, dres.CoverRounds, bracketOK)},
+					{"registry delay schedule", fmt.Sprintf("ring n∈%v k∈%v, delay:p=0.5 vs none", sns, sks),
+						fmt.Sprintf("%d/%d pairs slowed or equal", schedPairs-schedViolations, schedPairs)},
 				},
 			}
 			return &Result{
@@ -515,6 +561,8 @@ func expX7() *Experiment {
 				Shapes: []ShapeCheck{
 					{Name: "Lemma 1 dominance violations", Spread: float64(violations), Limit: 0.5, OK: violations == 0},
 					{Name: "Lemma 3 slow-down bracket", Spread: 1, Limit: 1, OK: bracketOK},
+					{Name: "delay schedule only slows coverage", Spread: float64(schedViolations), Limit: 0.5,
+						OK: schedPairs > 0 && schedViolations == 0},
 				},
 			}, nil
 		},

@@ -1,0 +1,152 @@
+package graph
+
+import (
+	"errors"
+	"fmt"
+)
+
+// This file supports perturbation scenarios (edge failure and repair): a
+// Graph stays immutable, so "deleting" edges produces a fresh masked copy
+// plus the port mapping a caller needs to transplant rotor pointers. The
+// companion Bridges analysis identifies which edges can fail without
+// disconnecting the graph (the model requires connectivity).
+
+// ErrDisconnects is returned by MaskEdges when removing the marked edges
+// would disconnect the graph.
+var ErrDisconnects = errors.New("graph: edge removal disconnects the graph")
+
+// MaskEdges returns a copy of g with the marked undirected edges removed.
+// deleted is indexed by arc id; marking either direction of an edge removes
+// both arcs. Every surviving arc keeps its relative position in its node's
+// cyclic port order — only the deleted ports are squeezed out — so the
+// masked graph perturbs the rotor-router as little as the model allows.
+//
+// The second result maps the new port numbering back to the original:
+// toOld[v][newPort] is the port the arc had in g. It returns
+// ErrDisconnects when the masked graph would not be connected.
+func MaskEdges(g *Graph, deleted []bool) (*Graph, [][]int32, error) {
+	if len(deleted) != g.NumArcs() {
+		return nil, nil, fmt.Errorf("graph: %d deletion marks for %d arcs", len(deleted), g.NumArcs())
+	}
+	n := g.NumNodes()
+	// Close the marks symmetrically: an undirected edge is deleted when
+	// either of its arcs is marked.
+	drop := make([]bool, g.NumArcs())
+	for v := 0; v < n; v++ {
+		for p, a := range g.adj[v] {
+			if deleted[g.ArcID(v, p)] {
+				drop[g.ArcID(v, p)] = true
+				drop[g.ArcID(a.To, a.RevPort)] = true
+			}
+		}
+	}
+
+	newPort := make([][]int32, n) // old port -> new port, -1 when dropped
+	toOld := make([][]int32, n)
+	removed := 0
+	for v := 0; v < n; v++ {
+		d := len(g.adj[v])
+		newPort[v] = make([]int32, d)
+		kept := int32(0)
+		for p := 0; p < d; p++ {
+			if drop[g.ArcID(v, p)] {
+				newPort[v][p] = -1
+				removed++
+				continue
+			}
+			newPort[v][p] = kept
+			kept++
+		}
+		toOld[v] = make([]int32, 0, kept)
+		for p := 0; p < d; p++ {
+			if newPort[v][p] >= 0 {
+				toOld[v] = append(toOld[v], int32(p))
+			}
+		}
+	}
+
+	ng := &Graph{
+		adj:  make([][]Arc, n),
+		m:    g.m - removed/2,
+		name: g.name + "-cut",
+	}
+	for v := 0; v < n; v++ {
+		ng.adj[v] = make([]Arc, len(toOld[v]))
+		for np, op := range toOld[v] {
+			a := g.adj[v][op]
+			ng.adj[v][np] = Arc{To: a.To, RevPort: int(newPort[a.To][a.RevPort])}
+		}
+	}
+	if !ng.Connected() {
+		return nil, nil, ErrDisconnects
+	}
+	ng.freezeArcIDs()
+	return ng, toOld, nil
+}
+
+// Bridges reports, per arc id, whether the arc's undirected edge is a
+// bridge (its removal disconnects the graph). Both directions of a bridge
+// are marked. Parallel edges are never bridges. Iterative Tarjan low-link,
+// O(|V| + |E|), safe for graphs deeper than the goroutine stack.
+func (g *Graph) Bridges() []bool {
+	n := g.NumNodes()
+	bridge := make([]bool, g.NumArcs())
+	disc := make([]int, n) // 0 = unvisited
+	low := make([]int, n)
+
+	type frame struct {
+		v    int
+		pi   int // next port to explore
+		skip int // arc id (v -> tree parent), -1 at a root
+	}
+	timer := 1
+	var stack []frame
+	for root := 0; root < n; root++ {
+		if disc[root] != 0 {
+			continue
+		}
+		disc[root], low[root] = timer, timer
+		timer++
+		stack = append(stack[:0], frame{v: root, skip: -1})
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if f.pi < len(g.adj[f.v]) {
+				p := f.pi
+				f.pi++
+				id := g.ArcID(f.v, p)
+				if id == f.skip {
+					// The tree arc back to the parent: skipping exactly this
+					// arc id (not the parent node) keeps parallel edges
+					// eligible as back edges, so they are never bridges.
+					continue
+				}
+				a := g.adj[f.v][p]
+				if disc[a.To] == 0 {
+					disc[a.To], low[a.To] = timer, timer
+					timer++
+					stack = append(stack, frame{v: a.To, skip: g.ArcID(a.To, a.RevPort)})
+				} else if disc[a.To] < low[f.v] {
+					low[f.v] = disc[a.To]
+				}
+				continue
+			}
+			child := *f
+			stack = stack[:len(stack)-1]
+			if len(stack) == 0 {
+				continue
+			}
+			pf := &stack[len(stack)-1]
+			if low[child.v] < low[pf.v] {
+				low[pf.v] = low[child.v]
+			}
+			if low[child.v] > disc[pf.v] {
+				// The tree edge into child is a bridge; mark both arcs.
+				up := child.skip
+				a := g.adj[child.v][up-g.base[child.v]]
+				bridge[up] = true
+				bridge[g.ArcID(a.To, a.RevPort)] = true
+			}
+		}
+	}
+	return bridge
+}

@@ -1,0 +1,128 @@
+package graph
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestBridges: the ring has none, the path only bridges, the lollipop's
+// tail is all bridges while its clique has none, and parallel edges are
+// never bridges.
+func TestBridges(t *testing.T) {
+	countBridgeEdges := func(g *Graph) int {
+		b := g.Bridges()
+		edges := 0
+		for v := 0; v < g.NumNodes(); v++ {
+			for p := 0; p < g.Degree(v); p++ {
+				if b[g.ArcID(v, p)] && g.Neighbor(v, p) > v {
+					edges++
+				}
+			}
+		}
+		return edges
+	}
+	if got := countBridgeEdges(Ring(16)); got != 0 {
+		t.Errorf("ring(16): %d bridges, want 0", got)
+	}
+	if got := countBridgeEdges(Path(16)); got != 15 {
+		t.Errorf("path(16): %d bridges, want 15", got)
+	}
+	if got := countBridgeEdges(Lollipop(5, 7)); got != 7 {
+		t.Errorf("lollipop(5,7): %d bridges, want 7 (the tail)", got)
+	}
+
+	// A doubled edge (multigraph) plus a pendant: only the pendant edge is
+	// a bridge.
+	b := NewBuilder(3, "multi")
+	for _, e := range [][2]int{{0, 1}, {0, 1}, {1, 2}} {
+		if err := b.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := countBridgeEdges(g); got != 1 {
+		t.Errorf("multigraph: %d bridges, want 1 (parallel edges are never bridges)", got)
+	}
+}
+
+// TestMaskEdges: cutting one ring edge yields a connected path-like graph
+// whose surviving ports keep their relative order, with a correct port map
+// and valid reverse-port structure.
+func TestMaskEdges(t *testing.T) {
+	g := Ring(8)
+	deleted := make([]bool, g.NumArcs())
+	// Delete the edge {3, 4}: the arc leaving 3 through its port toward 4.
+	p34, ok := g.PortToward(3, 4)
+	if !ok {
+		t.Fatal("no port 3->4")
+	}
+	deleted[g.ArcID(3, p34)] = true
+
+	ng, toOld, err := MaskEdges(g, deleted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ng.NumNodes() != 8 || ng.NumEdges() != 7 {
+		t.Fatalf("masked graph has %d nodes / %d edges, want 8 / 7", ng.NumNodes(), ng.NumEdges())
+	}
+	if err := ng.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if ng.Degree(3) != 1 || ng.Degree(4) != 1 {
+		t.Fatalf("cut endpoints have degrees %d/%d, want 1/1", ng.Degree(3), ng.Degree(4))
+	}
+	// Untouched nodes keep their full port fan in order.
+	for v := 0; v < 8; v++ {
+		if v == 3 || v == 4 {
+			continue
+		}
+		if ng.Degree(v) != 2 {
+			t.Fatalf("node %d degree %d after unrelated cut", v, ng.Degree(v))
+		}
+		for p := 0; p < 2; p++ {
+			if int(toOld[v][p]) != p {
+				t.Fatalf("node %d port %d remapped to %d without a deletion", v, p, toOld[v][p])
+			}
+			if ng.Neighbor(v, p) != g.Neighbor(v, p) {
+				t.Fatalf("node %d port %d heads to %d, originally %d", v, p, ng.Neighbor(v, p), g.Neighbor(v, p))
+			}
+		}
+	}
+	// The endpoints' surviving port maps back to the original port it was.
+	if orig := int(toOld[3][0]); ng.Neighbor(3, 0) != g.Neighbor(3, orig) {
+		t.Fatal("endpoint port map broken at node 3")
+	}
+
+	// Cutting a second edge disconnects the path and must be refused.
+	p01, _ := ng.PortToward(0, 1)
+	del2 := make([]bool, ng.NumArcs())
+	del2[ng.ArcID(0, p01)] = true
+	if _, _, err := MaskEdges(ng, del2); !errors.Is(err, ErrDisconnects) {
+		t.Fatalf("disconnecting mask returned %v, want ErrDisconnects", err)
+	}
+}
+
+// TestMaskEdgesMarksBothDirections: marking either arc of an edge removes
+// both directions.
+func TestMaskEdgesMarksBothDirections(t *testing.T) {
+	g := Complete(5)
+	deleted := make([]bool, g.NumArcs())
+	p, _ := g.PortToward(4, 2) // mark the "reverse" side only
+	deleted[g.ArcID(4, p)] = true
+	ng, _, err := MaskEdges(g, deleted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ng.NumEdges() != g.NumEdges()-1 {
+		t.Fatalf("edges %d, want %d", ng.NumEdges(), g.NumEdges()-1)
+	}
+	if _, ok := ng.PortToward(2, 4); ok {
+		t.Error("forward arc 2->4 survived a reverse-side deletion")
+	}
+	if err := ng.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

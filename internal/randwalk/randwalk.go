@@ -66,7 +66,10 @@ const CountsFactor = 2
 
 // Walk is a system of k independent synchronous random walkers.
 type Walk struct {
-	g   *graph.Graph
+	g *graph.Graph
+	// g0 is the construction-time topology; Rewire (perturbation
+	// scenarios) swaps g, Reset restores g0.
+	g0  *graph.Graph
 	rng *xrand.Rand
 
 	counts bool // counts-based stepping (tier 3)
@@ -113,6 +116,7 @@ func New(g *graph.Graph, positions []int, rng *xrand.Rand, opts ...Option) (*Wal
 	n := g.NumNodes()
 	w := &Walk{
 		g:       g,
+		g0:      g,
 		rng:     rng,
 		pos0:    append([]int(nil), positions...),
 		k:       int64(len(positions)),
@@ -355,11 +359,15 @@ func (w *Walk) RunUntilCovered(maxRounds int64) (int64, error) {
 	return w.round, nil
 }
 
-// Reset restores the initial placement and clears all counters, allowing a
-// fresh run on the same topology without reallocation (mirroring
-// core.System.Reset). The generator state is left as is; combine with
-// Reseed for reproducible independent trials.
+// Reset restores the initial placement (on the construction-time topology,
+// undoing any Rewire) and clears all counters, allowing a fresh run without
+// reallocation (mirroring core.System.Reset). The generator state is left
+// as is; combine with Reseed for reproducible independent trials.
 func (w *Walk) Reset() {
+	if w.g != w.g0 {
+		w.rewireTo(w.g0)
+	}
+	w.k = int64(len(w.pos0))
 	w.round = 0
 	w.covered = 0
 	for v := range w.visited {
@@ -393,6 +401,134 @@ func (w *Walk) Clone() *Walk {
 	c.visited = append([]bool(nil), w.visited...)
 	c.visits = append([]int64(nil), w.visits...)
 	return &c
+}
+
+// rewireTo points the walk at a different graph over the same node set and
+// refreshes the shape-dependent fast-path state of the counts engine.
+func (w *Walk) rewireTo(ng *graph.Graph) {
+	w.g = ng
+	if !w.counts {
+		return
+	}
+	w.ring = kernel.DetectShape(ng) == kernel.ShapeRing
+	if w.ring {
+		if w.split == nil {
+			w.split = make([]int64, ng.NumNodes())
+		}
+	} else if len(w.port) < ng.MaxDegree() {
+		w.port = make([]int64, ng.MaxDegree())
+	}
+}
+
+// Rewire swaps the topology under the running walk — the edge-failure /
+// repair primitive. ng must have the same node set; walker positions,
+// visit counters and the round clock carry over (walkers have no pointers,
+// so no transplant is needed). Reset returns to the construction-time
+// topology.
+func (w *Walk) Rewire(ng *graph.Graph) error {
+	if ng.NumNodes() != w.g.NumNodes() {
+		return fmt.Errorf("randwalk: Rewire changes the node count (%d -> %d)", w.g.NumNodes(), ng.NumNodes())
+	}
+	w.rewireTo(ng)
+	return nil
+}
+
+// AddWalkers places one new walker on each listed node mid-run (the churn
+// "join" primitive). Arrivals count as visits, exactly like initial
+// placement. The initial configuration (Reset target) is unchanged.
+func (w *Walk) AddWalkers(positions ...int) error {
+	n := w.g.NumNodes()
+	for _, v := range positions {
+		if v < 0 || v >= n {
+			return fmt.Errorf("randwalk: position %d out of range [0,%d)", v, n)
+		}
+	}
+	for _, v := range positions {
+		if w.counts {
+			w.cnt[v]++
+		} else {
+			w.pos = append(w.pos, v)
+		}
+		w.k++
+		if !w.visited[v] {
+			w.visited[v] = true
+			w.covered++
+		}
+		w.visits[v]++
+	}
+	return nil
+}
+
+// RemoveWalkers removes one walker from each listed node mid-run (the churn
+// "leave" primitive). Every listed node must currently hold a walker, and
+// at least one walker must remain afterwards.
+func (w *Walk) RemoveWalkers(positions ...int) error {
+	if int64(len(positions)) >= w.k {
+		return errors.New("randwalk: RemoveWalkers would leave no walkers")
+	}
+	removeAt := func(v int) bool {
+		if w.counts {
+			if w.cnt[v] == 0 {
+				return false
+			}
+			w.cnt[v]--
+			return true
+		}
+		for i, p := range w.pos {
+			if p == v {
+				w.pos[i] = w.pos[len(w.pos)-1]
+				w.pos = w.pos[:len(w.pos)-1]
+				return true
+			}
+		}
+		return false
+	}
+	for i, v := range positions {
+		if v < 0 || v >= w.g.NumNodes() || !removeAt(v) {
+			// Roll back so a failed removal leaves the walk unchanged.
+			for _, u := range positions[:i] {
+				if w.counts {
+					w.cnt[u]++
+				} else {
+					w.pos = append(w.pos, u)
+				}
+				w.k++
+			}
+			return fmt.Errorf("randwalk: no walker to remove at node %d", v)
+		}
+		w.k--
+	}
+	return nil
+}
+
+// ResetCoverage starts a fresh coverage epoch at the current round: visit
+// and cover bookkeeping restart as if the current walker positions were an
+// initial placement, while positions and the round clock are untouched
+// (mirroring core.System.ResetCoverage).
+func (w *Walk) ResetCoverage() {
+	w.covered = 0
+	for v := range w.visited {
+		w.visited[v] = false
+		w.visits[v] = 0
+	}
+	mark := func(v int, c int64) {
+		if !w.visited[v] {
+			w.visited[v] = true
+			w.covered++
+		}
+		w.visits[v] += c
+	}
+	if w.counts {
+		for v, c := range w.cnt {
+			if c > 0 {
+				mark(v, c)
+			}
+		}
+	} else {
+		for _, v := range w.pos {
+			mark(v, 1)
+		}
+	}
 }
 
 // CoverTimes runs independent trials of the cover time of k synchronous

@@ -23,11 +23,30 @@ func ParseTopo(s string) (Topo, error) { return engine.ParseTopo(s) }
 // TopologyNames lists the registered topology family names, sorted.
 func TopologyNames() []string { return engine.TopologyNames() }
 
+// Schedule is one parameterized perturbation-schedule spec in a sweep,
+// drawn from the schedule registry: a family name optionally followed by
+// key=value parameters, e.g. "none", "delay:p=0.25",
+// "edgefail:t=1000,count=4,repair=5000", "churn:join=8@500,leave=4@900",
+// "reset:t=256". Schedules compile to deterministic per-run event streams
+// derived from the sweep seed: delayed activation (§2.1), edge deletion
+// and repair with pointer transplantation, agent arrival/departure, and
+// rotor-pointer resets. ParseSchedule validates and canonicalizes;
+// ScheduleNames lists the registered families.
+type Schedule = engine.Schedule
+
+// ParseSchedule validates a schedule spec string and returns its canonical
+// form (lower case, normalized parameters — "EDGEFAIL:t=9" becomes
+// "edgefail:t=9,count=1"). The canonical form re-parses to itself.
+func ParseSchedule(s string) (Schedule, error) { return engine.ParseSchedule(s) }
+
+// ScheduleNames lists the registered schedule family names, sorted.
+func ScheduleNames() []string { return engine.ScheduleNames() }
+
 // SweepSpec describes a grid of experiments: the cross product of
-// Topologies × Sizes × Agents × Placements × Pointers, each configuration
-// run Replicas times with a seed derived from Seed and the configuration
-// (never from execution order). Sweeps therefore produce bit-identical
-// results regardless of how many workers run them.
+// Topologies × Sizes × Agents × Placements × Pointers × Schedules, each
+// configuration run Replicas times with a seed derived from Seed and the
+// configuration (never from execution order). Sweeps therefore produce
+// bit-identical results regardless of how many workers run them.
 //
 // Zero-valued optional fields select defaults: ring topology, PlaceSingleNode,
 // PointerZero, rotor-router process, cover-time metric, one replica,
@@ -91,6 +110,16 @@ type SweepSpec struct {
 	// different (equally distributed) random stream. Seeds never depend
 	// on it.
 	Kernel KernelPolicy
+	// Schedules lists the perturbation schedules to sweep as an innermost
+	// grid axis ("none", "delay:p=0.25", "edgefail:t=1000,count=4", ...).
+	// Empty selects the single schedule "none", whose rows are exactly
+	// those of an unscheduled sweep. Job seeds do not depend on the
+	// schedule, so the same configuration under different schedules starts
+	// identically and rows are directly comparable; only the schedule's
+	// own event stream (which edge fails, who joins where) is derived from
+	// the schedule spec. The restab_time and cover_after_fault metrics
+	// measure re-stabilization and re-coverage after the schedule's fault.
+	Schedules []Schedule
 }
 
 // ProbeSpec selects a registered probe and its sampling stride for a
@@ -105,6 +134,9 @@ type SweepRow struct {
 	Topology string
 	Spec     string
 	N, K     int
+	// Schedule is the canonical perturbation schedule the cell ran under,
+	// empty for unperturbed cells.
+	Schedule string
 	// Edges and MaxDegree describe the cell's graph (zero when the graph
 	// failed to build).
 	Edges     int
@@ -148,6 +180,7 @@ func (s SweepSpec) engineSpec() engine.SweepSpec {
 		Seed:       s.Seed,
 		MaxRounds:  s.MaxRounds,
 		Kernel:     engine.Kernel(s.Kernel),
+		Schedules:  s.Schedules,
 	}
 	for _, p := range s.Placements {
 		es.Placements = append(es.Placements, engine.Placement(p))
@@ -174,6 +207,7 @@ func publicRows(rows []engine.Row) []SweepRow {
 			Spec:      r.Spec,
 			N:         r.N,
 			K:         r.K,
+			Schedule:  r.Cell.Schedule,
 			Edges:     r.Edges,
 			MaxDegree: r.MaxDegree,
 			Process:   r.Process,
@@ -196,8 +230,8 @@ func publicRows(rows []engine.Row) []SweepRow {
 
 // RunSweep executes the sweep on a worker pool of the given size (0 =
 // GOMAXPROCS) and returns the rows in canonical grid order: sizes, then
-// agents, placements, pointers, replicas. The worker count never affects
-// the results, only the wall-clock time.
+// agents, placements, pointers, schedules, replicas. The worker count
+// never affects the results, only the wall-clock time.
 func RunSweep(spec SweepSpec, workers int) ([]SweepRow, error) {
 	rows, err := engine.New(engine.Workers(workers)).Run(spec.engineSpec())
 	if err != nil {

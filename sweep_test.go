@@ -202,3 +202,84 @@ func TestRunSweepWalk(t *testing.T) {
 		t.Error("walk replicas all equal; trial seeds look shared")
 	}
 }
+
+// TestSweepSchedules: the public Schedule surface — spec parsing, the
+// schedule grid axis, row annotation, and the perturbation metrics — works
+// through rotorring.RunSweep.
+func TestSweepSchedules(t *testing.T) {
+	if _, err := ParseSchedule("bogus"); err == nil {
+		t.Error("ParseSchedule accepted an unknown family")
+	}
+	canon, err := ParseSchedule("EDGEFAIL:t=9")
+	if err != nil || canon != "edgefail:t=9,count=1" {
+		t.Errorf("ParseSchedule canonicalization: %q, %v", canon, err)
+	}
+	names := ScheduleNames()
+	found := map[string]bool{}
+	for _, n := range names {
+		found[n] = true
+	}
+	for _, want := range []string{"none", "delay", "edgefail", "churn", "reset"} {
+		if !found[want] {
+			t.Errorf("ScheduleNames() missing %q (got %v)", want, names)
+		}
+	}
+
+	rows, err := RunSweep(SweepSpec{
+		Sizes:      []int{48},
+		Agents:     []int{3},
+		Placements: []PlacementPolicy{PlaceRandom},
+		Pointers:   []PointerPolicy{PointerRandom},
+		Schedules:  []Schedule{"none", "delay:p=0.5,until=64"},
+		Replicas:   2,
+		Seed:       13,
+	}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows, want 4", len(rows))
+	}
+	for i, r := range rows {
+		if r.Err != "" {
+			t.Fatalf("row %d: %s", i, r.Err)
+		}
+		wantSched := ""
+		if i >= 2 {
+			wantSched = "delay:p=0.5,until=64"
+		}
+		if r.Schedule != wantSched {
+			t.Errorf("row %d schedule = %q, want %q", i, r.Schedule, wantSched)
+		}
+	}
+	// Same job seeds across the schedule axis: delayed rows are directly
+	// comparable and never faster.
+	for rep := 0; rep < 2; rep++ {
+		if rows[rep].Seed != rows[2+rep].Seed {
+			t.Errorf("replica %d: job seed depends on the schedule", rep)
+		}
+		if rows[2+rep].Value < rows[rep].Value {
+			t.Errorf("replica %d: delayed cover %v < pristine %v", rep, rows[2+rep].Value, rows[rep].Value)
+		}
+	}
+
+	// The re-stabilization metric through the public API.
+	rrows, err := RunSweep(SweepSpec{
+		Sizes:      []int{32},
+		Agents:     []int{2},
+		Placements: []PlacementPolicy{PlaceRandom},
+		Pointers:   []PointerPolicy{PointerRandom},
+		Metric:     "restab_time",
+		Schedules:  []Schedule{"edgefail:t=512,count=1"},
+		Seed:       4,
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rrows[0].Err != "" {
+		t.Fatal(rrows[0].Err)
+	}
+	if rrows[0].Value < 0 || rrows[0].Rounds <= 512 {
+		t.Errorf("restab row implausible: value=%v rounds=%d", rrows[0].Value, rrows[0].Rounds)
+	}
+}
