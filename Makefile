@@ -6,7 +6,7 @@ GO ?= go
 # Benchtime for bench-kernels; CI smoke uses 1x, local comparisons 1s+.
 BENCHTIME ?= 1s
 
-.PHONY: all build vet fmt fmt-check test race race-short bench-smoke bench-kernels bench-baseline bench-json examples-smoke fuzz-smoke verify ci clean
+.PHONY: all build vet fmt fmt-check test race race-short bench-smoke bench-kernels bench-baseline bench-json examples-smoke fuzz-smoke service-smoke verify ci clean
 
 all: verify
 
@@ -76,13 +76,20 @@ examples-smoke:
 # schedule-spec parser fuzz (canonical forms are parse/String fixed points
 # with identical compiled plans). Seed corpora also run under plain
 # `go test`; this target actually mutates.
+# End-to-end service smoke: build the real rotord binary, POST a
+# mixed-topology sweep over HTTP, SIGKILL the server mid-sweep, restart it
+# on the same spool, and prove the resumed stream — full and from the
+# watermark cursor — is byte-identical to library-mode RunSweep output.
+service-smoke:
+	$(GO) test -count=1 -v ./cmd/rotord -run '^TestServiceSmoke$$'
+
 FUZZTIME ?= 10s
 fuzz-smoke:
 	$(GO) test ./internal/core -run '^$$' -fuzz '^FuzzKernelEquivalence$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/engine -run '^$$' -fuzz '^FuzzParseTopo$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/engine -run '^$$' -fuzz '^FuzzParseSchedule$$' -fuzztime $(FUZZTIME)
 
-ci: build vet fmt-check race bench-smoke bench-kernels-smoke examples-smoke fuzz-smoke
+ci: build vet fmt-check race bench-smoke bench-kernels-smoke examples-smoke service-smoke fuzz-smoke
 
 # CI variant of bench-kernels: single iteration, still exercises every tier.
 .PHONY: bench-kernels-smoke

@@ -1,0 +1,90 @@
+// Command rotord serves rotor-router sweeps over HTTP: a long-running job
+// server that accepts wire-format SweepSpecs, shards their expanded job
+// grids across a bounded worker pool shared by all in-flight sweeps, and
+// streams rows back as JSONL in canonical grid order — byte-identical to
+// library-mode rotorring.RunSweep for the same spec, across shard counts,
+// server restarts and row-cache hits.
+//
+// Progress checkpoints and the content-addressed row cache live in the
+// spool directory; killing the server and restarting it on the same spool
+// resumes every unfinished sweep at its completed-row watermark.
+//
+//	rotord -addr 127.0.0.1:8080 -spool /var/lib/rotord
+//
+// The API (see README.md, "Service", for a walkthrough):
+//
+//	POST /v1/sweeps            submit a spec ({"v":1,"topologies":...})
+//	GET  /v1/sweeps            list sweeps
+//	GET  /v1/sweeps/{id}       status (jobs, completed, cacheHits)
+//	GET  /v1/sweeps/{id}/rows  stream JSONL rows; ?from=N resumes at row N,
+//	                           ?format=csv|summary re-renders via the sink
+//	                           registry
+//	GET  /v1/registries        registered names for client introspection
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"rotorring/internal/service"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "rotord:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("rotord", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free port)")
+	spool := fs.String("spool", "rotord-spool", "spool directory: sweep checkpoints and the content-addressed row cache")
+	workers := fs.Int("workers", 0, "shared worker pool size (0 = GOMAXPROCS); never affects result bytes")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	srv, err := service.Open(*spool, service.Workers(*workers))
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	// The resolved address goes to stdout (flushed before serving) so
+	// scripts using port 0 can find the server.
+	fmt.Printf("rotord: listening on %s (spool %s, %d workers)\n", ln.Addr(), *spool, srv.NumWorkers())
+
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case <-sig:
+	}
+	// Graceful stop: finish in-flight responses briefly, then persist the
+	// watermark via srv.Close (deferred). A SIGKILL skips all of this and
+	// still loses nothing but in-flight rows — the spool resumes them.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	return nil
+}

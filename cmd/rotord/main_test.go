@@ -1,0 +1,171 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"rotorring/internal/engine"
+)
+
+// buildRotord compiles the real binary once per test run.
+func buildRotord(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "rotord")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// startRotord launches the binary and returns its base URL, parsed from
+// the "listening on" line the server prints for exactly this purpose.
+func startRotord(t *testing.T, bin, spool string, workers int) (*exec.Cmd, string) {
+	t.Helper()
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-spool", spool, "-workers", fmt.Sprint(workers))
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start rotord: %v", err)
+	}
+	t.Cleanup(func() { cmd.Process.Kill(); cmd.Wait() })
+	sc := bufio.NewScanner(stdout)
+	if !sc.Scan() {
+		t.Fatalf("rotord exited before announcing its address: %v", sc.Err())
+	}
+	line := sc.Text()
+	addr, ok := strings.CutPrefix(line, "rotord: listening on ")
+	if !ok {
+		t.Fatalf("unexpected announcement line %q", line)
+	}
+	addr, _, _ = strings.Cut(addr, " (")
+	go io.Copy(io.Discard, stdout) // keep the pipe drained
+	return cmd, "http://" + addr
+}
+
+// TestServiceSmoke is the end-to-end smoke CI runs (make service-smoke):
+// the real rotord binary serves a mixed-topology sweep whose streamed rows
+// are byte-identical to library-mode output; SIGKILLed mid-sweep and
+// restarted on the same spool, it resumes at the on-disk watermark and the
+// full stream is still byte-identical.
+func TestServiceSmoke(t *testing.T) {
+	// Mixed topologies (grid:32x32 is self-sized at n=1024), jobs costly
+	// enough that the SIGKILL lands mid-sweep at one worker.
+	spec := engine.SweepSpec{
+		Topologies: []engine.Topo{"ring", "grid:32x32"},
+		Sizes:      []int{1024},
+		Agents:     []int{2},
+		Replicas:   40,
+		Seed:       7,
+	}
+	var lib bytes.Buffer
+	if _, err := engine.New(engine.Workers(4)).Run(spec, engine.NewJSONLSink(&lib)); err != nil {
+		t.Fatalf("library run: %v", err)
+	}
+	want := lib.Bytes()
+	wire, err := engine.EncodeWireSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	bin := buildRotord(t)
+	spool := t.TempDir()
+	cmd, base := startRotord(t, bin, spool, 1)
+
+	resp, err := http.Post(base+"/v1/sweeps", "application/json", bytes.NewReader(wire))
+	if err != nil {
+		t.Fatalf("POST /v1/sweeps: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("POST /v1/sweeps: status %d: %s", resp.StatusCode, body)
+	}
+	id := resp.Header.Get("Location")[len("/v1/sweeps/"):]
+
+	// Wait for visible progress, then SIGKILL: no shutdown path runs, so
+	// resume leans only on the spool (including partial-line truncation).
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		if n := completedRows(t, base, id); n > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no progress before kill deadline")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	cmd.Wait()
+
+	_, base2 := startRotord(t, bin, spool, 4)
+	watermark := completedRows(t, base2, id)
+	jobs := len(bytes.Split(bytes.TrimSuffix(want, []byte("\n")), []byte("\n")))
+	if watermark >= jobs {
+		t.Fatalf("watermark %d of %d jobs after restart: kill was not mid-sweep", watermark, jobs)
+	}
+	t.Logf("killed at watermark %d of %d jobs", watermark, jobs)
+
+	got := getBody(t, base2, "/v1/sweeps/"+id+"/rows")
+	if !bytes.Equal(got, want) {
+		t.Errorf("post-restart stream is not byte-identical to library output (%d vs %d bytes)", len(got), len(want))
+	}
+	// A resumed client's view: the stream from the watermark is the byte
+	// tail of the library output.
+	tail := getBody(t, base2, fmt.Sprintf("/v1/sweeps/%s/rows?from=%d", id, watermark))
+	wantTail := want
+	for i := 0; i < watermark; i++ {
+		wantTail = wantTail[bytes.IndexByte(wantTail, '\n')+1:]
+	}
+	if !bytes.Equal(tail, wantTail) {
+		t.Errorf("resumed tail differs from library tail (%d vs %d bytes)", len(tail), len(wantTail))
+	}
+}
+
+func completedRows(t *testing.T, base, id string) int {
+	t.Helper()
+	var st struct {
+		Completed int    `json:"completed"`
+		Error     string `json:"error"`
+	}
+	b := getBody(t, base, "/v1/sweeps/"+id)
+	if err := json.Unmarshal(b, &st); err != nil {
+		t.Fatalf("status decode: %v (%s)", err, b)
+	}
+	if st.Error != "" {
+		t.Fatalf("sweep failed: %s", st.Error)
+	}
+	return st.Completed
+}
+
+func getBody(t *testing.T, base, path string) []byte {
+	t.Helper()
+	resp, err := http.Get(base + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read: %v", path, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d: %s", path, resp.StatusCode, b)
+	}
+	return b
+}

@@ -9,7 +9,10 @@
 // processes, metrics and scenario families registered by other packages
 // are reachable without command changes; -walk and -return remain as
 // deprecated aliases. The -probes flag attaches registered stride-sampled
-// probes whose time series streams into the JSONL rows.
+// probes whose time series streams into the JSONL rows. Output formats
+// other than text resolve through the sink registry the same way
+// (-format jsonl|csv|summary), and unknown names on any of these flags
+// exit nonzero listing what is registered.
 //
 // Usage examples:
 //
@@ -87,7 +90,7 @@ func run(args []string, out io.Writer) error {
 	replicas := fs.Int("replicas", 1, "replicas per grid cell, each with a derived seed")
 	workers := fs.Int("workers", 0, "sweep engine worker pool size (0 = GOMAXPROCS); never affects results")
 	kernelFlag := fs.String("kernel", "auto", "stepping tier: auto|generic|fast; rotor results are bit-identical across tiers, walk trials are resampled (statistically equivalent)")
-	format := fs.String("format", "text", "output format: text|jsonl|csv")
+	format := fs.String("format", "text", "output format: text, or a registered sink: "+strings.Join(engine.SinkNames(), "|"))
 	budget := fs.Int64("budget", 0, "round budget (0 = automatic)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -113,9 +116,21 @@ func run(args []string, out io.Writer) error {
 	if procName == "" {
 		procName = engine.ProcRotor
 	}
+	// Registry names fail fast, before any grid expansion or engine work,
+	// so a typo dies with the registered list instead of mid-sweep.
+	if _, ok := engine.LookupProcess(procName); !ok {
+		return fmt.Errorf("-process: unknown process %q (registered: %s)",
+			procName, strings.Join(engine.ProcessNames(), "|"))
+	}
 	metricName := strings.ToLower(*metric)
 	if *doReturn && metricName != "" && metricName != engine.MetricReturn {
 		return fmt.Errorf("-return conflicts with -metric %s", metricName)
+	}
+	if metricName != "" {
+		if _, ok := engine.LookupMetric(metricName); !ok {
+			return fmt.Errorf("-metric: unknown metric %q (registered: %s)",
+				metricName, strings.Join(engine.MetricNames(), "|"))
+		}
 	}
 
 	if trialsSet && replicasSet {
@@ -201,30 +216,26 @@ func run(args []string, out io.Writer) error {
 	}
 	eng := engine.New(engine.Workers(*workers))
 
-	switch *format {
-	case "jsonl", "csv":
-		// Structured mode runs one sweep; -return selects the metric when
-		// -metric did not.
-		if *doReturn && spec.Metric == "" {
-			spec.Metric = engine.MetricReturn
-		}
-		var sink engine.Sink
-		if *format == "jsonl" {
-			sink = engine.NewJSONLSink(out)
-		} else {
-			sink = engine.NewCSVSink(out)
-		}
-		_, err := eng.Run(spec, sink)
-		return err
-	case "text":
+	if *format == "text" {
 		// Text mode renders the spec's metric; with the legacy -return
 		// flag (and no explicit recurrence metric) the recurrence sweep
 		// runs after the cover sweep, as it always has.
 		addReturn := *doReturn && spec.Metric == ""
 		return runText(eng, spec, addReturn, out)
-	default:
-		return fmt.Errorf("unknown format %q (text|jsonl|csv)", *format)
 	}
+	// Every other format resolves by name through the sink registry — the
+	// same path the rotord service's ?format= uses — so formats registered
+	// by other packages work here without command changes. Structured mode
+	// runs one sweep; -return selects the metric when -metric did not.
+	if *doReturn && spec.Metric == "" {
+		spec.Metric = engine.MetricReturn
+	}
+	sink, err := engine.NewSink(*format, out)
+	if err != nil {
+		return err
+	}
+	_, err = eng.Run(spec, sink)
+	return err
 }
 
 // splitSchedules splits the -schedule flag into specs: commas separate
@@ -259,7 +270,10 @@ func parseProbes(s string) ([]engine.ProbeSpec, error) {
 			return engine.ProbeSpec{}, fmt.Errorf("-probes: %q (want name:stride)", p)
 		}
 		name = strings.ToLower(name) // match the -process/-metric flags
-
+		if !probe.Known(name) {
+			return engine.ProbeSpec{}, fmt.Errorf("-probes: unknown probe %q (registered: %s)",
+				name, strings.Join(probe.Names(), "|"))
+		}
 		stride, err := strconv.ParseInt(strideStr, 10, 64)
 		if err != nil || stride < 1 {
 			return engine.ProbeSpec{}, fmt.Errorf("-probes: bad stride in %q (want a positive integer)", p)

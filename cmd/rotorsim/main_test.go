@@ -275,3 +275,48 @@ func TestSplitSchedules(t *testing.T) {
 		}
 	}
 }
+
+// TestUnknownRegistryNames: an unknown name on any registry-backed flag
+// exits nonzero with the registered list in the error — fail-fast, before
+// any grid expansion or engine work.
+func TestUnknownRegistryNames(t *testing.T) {
+	cases := map[string]struct {
+		args []string
+		want string // a registered name the error must advertise
+	}{
+		"process":  {[]string{"-process", "psychic"}, "rotor"},
+		"metric":   {[]string{"-metric", "vibes"}, "cover"},
+		"probes":   {[]string{"-probes", "telepathy:64", "-format", "jsonl"}, "coverage"},
+		"format":   {[]string{"-format", "yaml"}, "jsonl"},
+		"topology": {[]string{"-topology", "moebius"}, "ring"},
+		"schedule": {[]string{"-schedule", "chaos:p=1"}, "delay"},
+	}
+	for name, tc := range cases {
+		var buf bytes.Buffer
+		err := run(append([]string{"-n", "32", "-k", "2"}, tc.args...), &buf)
+		if err == nil {
+			t.Errorf("%s: unknown name accepted", name)
+			continue
+		}
+		msg := err.Error()
+		if !strings.Contains(msg, "registered:") || !strings.Contains(msg, tc.want) {
+			t.Errorf("%s: error %q does not list registered names", name, msg)
+		}
+	}
+}
+
+// TestFormatViaSinkRegistry: -format resolves by name through the sink
+// registry, so the summary sink (and any future registered format) works
+// without command changes.
+func TestFormatViaSinkRegistry(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-n", "32,64", "-k", "2", "-format", "summary"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"n=32", "n=64"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary table missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -41,14 +41,17 @@ func (e *Engine) NumWorkers() int { return e.workers }
 // Jobs whose measurement fails carry the error in Row.Err; Run itself only
 // fails on invalid specs or sink errors.
 func (e *Engine) Run(spec SweepSpec, sinks ...Sink) ([]Row, error) {
-	norm, err := spec.withDefaults()
+	// Run is a client of the exported job model (Expand / JobRunner), the
+	// same one external schedulers use, so in-process sweeps and sharded
+	// service sweeps cannot diverge: they execute literally the same code
+	// per job.
+	exp, err := Expand(spec)
 	if err != nil {
 		return nil, err
 	}
-	cells := norm.expand()
-	jobs := len(cells) * norm.Replicas
+	jobs := exp.NumJobs()
 	for _, s := range sinks {
-		if err := s.Begin(norm, jobs); err != nil {
+		if err := s.Begin(exp.spec, jobs); err != nil {
 			return nil, fmt.Errorf("engine: sink begin: %w", err)
 		}
 	}
@@ -61,10 +64,6 @@ func (e *Engine) Run(spec SweepSpec, sinks ...Sink) ([]Row, error) {
 	if workers > jobs {
 		workers = jobs
 	}
-	// One immutable graph cache per sweep, shared by every worker: each
-	// (topology, size, graph-seed) builds exactly once instead of once per
-	// worker.
-	graphs := newGraphCache()
 	type doneJob struct {
 		idx int
 		row Row
@@ -76,10 +75,9 @@ func (e *Engine) Run(spec SweepSpec, sinks ...Sink) ([]Row, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			w := newWorker(graphs)
+			r := exp.NewRunner()
 			for idx := range next {
-				cell := cells[idx/norm.Replicas]
-				out <- doneJob{idx: idx, row: w.runJob(&norm, cell, idx%norm.Replicas)}
+				out <- doneJob{idx: idx, row: r.Run(idx)}
 			}
 		}()
 	}

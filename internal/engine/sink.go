@@ -2,7 +2,6 @@ package engine
 
 import (
 	"encoding/csv"
-	"encoding/json"
 	"fmt"
 	"io"
 	"strconv"
@@ -66,17 +65,29 @@ type Sink interface {
 
 // jsonlSink writes one JSON object per row.
 type jsonlSink struct {
-	enc *json.Encoder
+	w io.Writer
 }
 
-// NewJSONLSink returns a sink that streams rows as JSON lines.
+// NewJSONLSink returns a sink that streams rows as JSON lines. Each line is
+// exactly RowBytes of its row, so anything that replays stored RowBytes (the
+// service's row cache and spool) is byte-identical to this sink by
+// construction.
 func NewJSONLSink(w io.Writer) Sink {
-	return &jsonlSink{enc: json.NewEncoder(w)}
+	return &jsonlSink{w: w}
 }
 
 func (s *jsonlSink) Begin(SweepSpec, int) error { return nil }
-func (s *jsonlSink) Emit(row Row) error         { return s.enc.Encode(row) }
-func (s *jsonlSink) End() error                 { return nil }
+
+func (s *jsonlSink) Emit(row Row) error {
+	b, err := RowBytes(row)
+	if err != nil {
+		return err
+	}
+	_, err = s.w.Write(b)
+	return err
+}
+
+func (s *jsonlSink) End() error { return nil }
 
 // csvHeader is the fixed column set of the CSV sink.
 var csvHeader = []string{

@@ -1,0 +1,102 @@
+package engine
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// This file is the engine's sink registry, the fifth name-keyed registry
+// next to processes/metrics (process.go), topologies (topology.go) and
+// schedules (schedule.go): output formats are selected by string — a CLI
+// -format value, the service's ?format= parameter — and the registry
+// supplies the writer factory, so a new format plugs in with one
+// RegisterSink call, with zero engine, CLI or service edits.
+
+// SinkDef describes one registered output format.
+type SinkDef struct {
+	// Name is the registry key, as it appears in CLI -format flags and the
+	// service's format selection.
+	Name string
+	// New builds a sink writing to w. Each sweep gets a fresh instance.
+	New func(w io.Writer) Sink
+}
+
+var (
+	sinkMu sync.RWMutex
+	sinks  = map[string]*SinkDef{}
+)
+
+// RegisterSink adds an output format to the registry. Names are normalized
+// to lower case (flags lowercase their input before lookup); duplicate
+// names panic: format names appear in CLI flags and service URLs and must
+// stay unambiguous.
+func RegisterSink(d *SinkDef) {
+	if d.Name == "" || d.New == nil {
+		panic("engine: RegisterSink needs a name and a factory")
+	}
+	d.Name = strings.ToLower(d.Name)
+	sinkMu.Lock()
+	defer sinkMu.Unlock()
+	if _, dup := sinks[d.Name]; dup {
+		panic(fmt.Sprintf("engine: duplicate sink %q", d.Name))
+	}
+	sinks[d.Name] = d
+}
+
+// LookupSink returns a registered format by name.
+func LookupSink(name string) (*SinkDef, bool) {
+	sinkMu.RLock()
+	defer sinkMu.RUnlock()
+	d, ok := sinks[name]
+	return d, ok
+}
+
+// SinkNames lists the registered format names, sorted.
+func SinkNames() []string {
+	sinkMu.RLock()
+	defer sinkMu.RUnlock()
+	names := make([]string, 0, len(sinks))
+	for n := range sinks {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// NewSink builds a sink for a registered format name writing to w. Unknown
+// names fail with the registered list, mirroring the other registries'
+// fail-fast lookups.
+func NewSink(name string, w io.Writer) (Sink, error) {
+	d, ok := LookupSink(strings.ToLower(name))
+	if !ok {
+		return nil, fmt.Errorf("engine: unknown sink %q (registered: %s)",
+			name, strings.Join(SinkNames(), "|"))
+	}
+	return d.New(w), nil
+}
+
+// summaryTableSink folds the streaming SummarySink and its text rendering
+// into one registrable format: rows aggregate per cell while streaming, the
+// table writes at End.
+type summaryTableSink struct {
+	*SummarySink
+	w io.Writer
+}
+
+func (s *summaryTableSink) End() error {
+	if err := s.SummarySink.End(); err != nil {
+		return err
+	}
+	return s.WriteTable(s.w)
+}
+
+func init() {
+	RegisterSink(&SinkDef{Name: "jsonl", New: NewJSONLSink})
+	RegisterSink(&SinkDef{Name: "csv", New: NewCSVSink})
+	RegisterSink(&SinkDef{Name: "summary", New: func(w io.Writer) Sink {
+		return &summaryTableSink{SummarySink: NewSummarySink(), w: w}
+	}})
+}

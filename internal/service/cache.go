@@ -1,0 +1,79 @@
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// rowCache is the content-addressed row store shared by every sweep a
+// server runs: one file per computed job, addressed by the SHA-256 digest
+// of the job's engine.JobKey — the canonical string spelling out every
+// input that can influence the row's bytes except its grid position. Two
+// jobs with equal keys are the same computation, whatever sweep, grid
+// shape or server run they belong to, so re-running an enlarged grid only
+// computes the genuinely new cells.
+//
+// Entries hold the row's canonical RowBytes with the positional "cell"
+// field zeroed; the reader patches the current grid's cell index back in
+// (engine.DecodeRow / RowBytes round trips are byte-stable, pinned by
+// TestRowBytesRoundTrip), so a cache hit is byte-identical to a fresh
+// computation under any grid shape.
+//
+// The cache is crash-safe by construction: entries are written to a temp
+// file and renamed into place, so a killed server leaves either a complete
+// entry or none. Lookups and stores race benignly — both sides of a race
+// write identical bytes.
+type rowCache struct {
+	dir string
+}
+
+func newRowCache(dir string) (*rowCache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("service: row cache: %w", err)
+	}
+	return &rowCache{dir: dir}, nil
+}
+
+// addr maps a job key to its entry path, sharded by the digest's first
+// byte so one flat directory never accumulates every row.
+func (c *rowCache) addr(jobKey string) string {
+	sum := sha256.Sum256([]byte(jobKey))
+	digest := hex.EncodeToString(sum[:])
+	return filepath.Join(c.dir, digest[:2], digest+".row")
+}
+
+// load returns the stored index-free row bytes for jobKey, if present.
+func (c *rowCache) load(jobKey string) ([]byte, bool) {
+	b, err := os.ReadFile(c.addr(jobKey))
+	if err != nil || len(b) == 0 || b[len(b)-1] != '\n' {
+		// Unreadable or truncated entries read as misses: the job just
+		// recomputes and overwrites them.
+		return nil, false
+	}
+	return b, true
+}
+
+// store writes the index-free row bytes for jobKey atomically.
+func (c *rowCache) store(jobKey string, rowBytes []byte) error {
+	path := c.addr(jobKey)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".row-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(rowBytes); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}

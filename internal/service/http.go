@@ -1,0 +1,230 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"rotorring/internal/engine"
+	"rotorring/probe"
+)
+
+// maxSpecBytes bounds a POSTed spec; wire specs are small, and the limit
+// keeps a stray upload from ballooning memory.
+const maxSpecBytes = 1 << 20
+
+// Handler returns the service's HTTP API:
+//
+//	POST /v1/sweeps            submit a wire-format SweepSpec, get a sweep id
+//	GET  /v1/sweeps            list known sweeps
+//	GET  /v1/sweeps/{id}       status: jobs, completed watermark, cache hits
+//	GET  /v1/sweeps/{id}/rows  stream rows in canonical order (JSONL;
+//	                           ?from=N resumes at row N, ?format= selects a
+//	                           registered sink format)
+//	GET  /v1/registries        registered process/metric/topology/schedule/
+//	                           sink/probe names for client introspection
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sweeps", s.handleSubmit)
+	mux.HandleFunc("GET /v1/sweeps", s.handleList)
+	mux.HandleFunc("GET /v1/sweeps/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/sweeps/{id}/rows", s.handleRows)
+	mux.HandleFunc("GET /v1/registries", s.handleRegistries)
+	return mux
+}
+
+// httpError writes a JSON error body; the service never answers with bare
+// text, so clients can always decode.
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+// sweepStatus is the status document of one sweep.
+type sweepStatus struct {
+	ID string `json:"id"`
+	// State is "running", "done" or "failed".
+	State string `json:"state"`
+	// Jobs is the expanded job count (cells x replicas); Cells and
+	// Replicas break it down.
+	Jobs     int `json:"jobs"`
+	Cells    int `json:"cells"`
+	Replicas int `json:"replicas"`
+	// Completed is the completed-row watermark: rows [0, Completed) are
+	// final, on disk, and streamable.
+	Completed int `json:"completed"`
+	// CacheHits counts jobs this server run served from the row cache.
+	CacheHits int `json:"cacheHits"`
+	// SpecHash is the SHA-256 of the canonical wire spec (the id's
+	// preimage).
+	SpecHash string `json:"specHash"`
+	Error    string `json:"error,omitempty"`
+}
+
+func (s *Server) status(sw *sweepJob) sweepStatus {
+	completed, hits, failed := sw.snapshot()
+	return sweepStatus{
+		ID:        sw.id,
+		State:     sw.state(),
+		Jobs:      sw.exp.NumJobs(),
+		Cells:     sw.exp.NumCells(),
+		Replicas:  sw.exp.Replicas(),
+		Completed: completed,
+		CacheHits: hits,
+		SpecHash:  sw.hash,
+		Error:     failed,
+	}
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxSpecBytes+1))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "read body: %v", err)
+		return
+	}
+	if len(body) > maxSpecBytes {
+		httpError(w, http.StatusRequestEntityTooLarge, "spec exceeds %d bytes", maxSpecBytes)
+		return
+	}
+	sw, created, err := s.Submit(body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	code := http.StatusOK
+	if created {
+		code = http.StatusCreated
+	}
+	w.Header().Set("Location", "/v1/sweeps/"+sw.id)
+	writeJSON(w, code, struct {
+		sweepStatus
+		Created bool `json:"created"`
+	}{s.status(sw), created})
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	ids := s.SweepIDs()
+	out := make([]sweepStatus, 0, len(ids))
+	for _, id := range ids {
+		if sw, ok := s.Sweep(id); ok {
+			out = append(out, s.status(sw))
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"sweeps": out})
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	sw, ok := s.Sweep(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown sweep %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.status(sw))
+}
+
+func (s *Server) handleRows(w http.ResponseWriter, r *http.Request) {
+	sw, ok := s.Sweep(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown sweep %q", r.PathValue("id"))
+		return
+	}
+	from := 0
+	if q := r.URL.Query().Get("from"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 0 || v > sw.exp.NumJobs() {
+			httpError(w, http.StatusBadRequest, "bad row cursor %q (want 0..%d)", q, sw.exp.NumJobs())
+			return
+		}
+		from = v
+	}
+	format := strings.ToLower(r.URL.Query().Get("format"))
+	if format == "" {
+		format = "jsonl"
+	}
+
+	// The stream aborts when the client goes away or the server shuts
+	// down; the cursor model makes reconnecting with ?from=<received>
+	// lossless either way.
+	stop := make(chan struct{})
+	go func() {
+		select {
+		case <-r.Context().Done():
+		case <-s.stop:
+		}
+		close(stop)
+	}()
+	flusher, _ := w.(http.Flusher)
+	flush := func() {
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+
+	if format == "jsonl" {
+		// The identity path: raw stored bytes, no re-encoding anywhere
+		// between the spool and the socket.
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		_ = sw.streamRows(from, func(line []byte) error {
+			if _, err := w.Write(line); err != nil {
+				return err
+			}
+			flush()
+			return nil
+		}, stop)
+		return
+	}
+
+	// Other formats resolve through the sink registry and replay decoded
+	// rows through the chosen sink — the same code path rotorsim -format
+	// uses, so a format registered once works everywhere.
+	sink, err := engine.NewSink(format, w)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if err := sink.Begin(sw.exp.Spec(), sw.exp.NumJobs()); err != nil {
+		httpError(w, http.StatusInternalServerError, "sink begin: %v", err)
+		return
+	}
+	err = sw.streamRows(from, func(line []byte) error {
+		row, err := engine.DecodeRow(line)
+		if err != nil {
+			return err
+		}
+		if err := sink.Emit(row); err != nil {
+			return err
+		}
+		flush()
+		return nil
+	}, stop)
+	if err == nil {
+		_ = sink.End()
+		flush()
+	}
+}
+
+func (s *Server) handleRegistries(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"v":          engine.WireVersion,
+		"processes":  engine.ProcessNames(),
+		"metrics":    engine.MetricNames(),
+		"topologies": engine.TopologyNames(),
+		"schedules":  engine.ScheduleNames(),
+		"sinks":      engine.SinkNames(),
+		"probes":     probe.Names(),
+		"placements": []string{"single", "equal", "random"},
+		"pointers":   []string{"zero", "negative", "toward", "random"},
+		"kernels":    []string{"auto", "generic", "fast"},
+	})
+}

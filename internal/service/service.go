@@ -1,0 +1,444 @@
+// Package service is the rotord sweep service: a long-running job server
+// that accepts wire-format SweepSpecs over HTTP, expands them into the
+// engine's canonical job grids, shards job ranges across one bounded
+// worker pool shared by every in-flight sweep, and streams each sweep's
+// rows back as JSONL in canonical grid order.
+//
+// The service adds scheduling, persistence and caching around the engine —
+// never computation: every row it emits is byte-identical to what a
+// single-process rotorring.RunSweep would produce for the same spec,
+// across shard counts, across server restarts mid-sweep, and across row-
+// cache hits. That identity rests on three engine properties: job seeds
+// derive from configuration coordinates (engine.ExpandedSweep.JobSeed),
+// job execution is runner-independent (engine.JobRunner), and the JSONL
+// encoding of a row is a pure function of the row (engine.RowBytes).
+//
+// Spool layout (one directory per server):
+//
+//	spool/
+//	  cache/<aa>/<sha256 of job key>.row   content-addressed rows, index-free
+//	  sweeps/<id>/spec.json               canonical wire spec (id's preimage)
+//	  sweeps/<id>/meta.json               version, spec hash, job count
+//	  sweeps/<id>/rows.jsonl              canonical row stream, append-only
+//
+// rows.jsonl doubles as the checkpoint: its complete-line count is the
+// completed-row watermark, and a restarted server resumes every unfinished
+// sweep from exactly there — re-emitting nothing, recomputing only what the
+// cache cannot supply.
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"sync"
+
+	"rotorring/internal/engine"
+)
+
+// metaVersion versions meta.json so a future layout change can migrate or
+// reject old spools explicitly.
+const metaVersion = 1
+
+// sweepMeta is the sweeps/<id>/meta.json layout.
+type sweepMeta struct {
+	V        int    `json:"v"`
+	ID       string `json:"id"`
+	SpecHash string `json:"specHash"`
+	Jobs     int    `json:"jobs"`
+}
+
+// chunkSize is the job-range shard handed to a pool worker at a time:
+// large enough that a worker usually runs a cell's replicas back to back
+// (prototype reuse), small enough that many workers share one sweep.
+const chunkSize = 32
+
+// task is one sharded unit of work on the global pool: a slice of job
+// indices of one sweep, in ascending order.
+type task struct {
+	sw   *sweepJob
+	jobs []int
+}
+
+// Server is a rotord instance: a spool directory, a row cache, and a
+// bounded worker pool shared by all in-flight sweeps.
+type Server struct {
+	spool   string
+	workers int
+	cache   *rowCache
+
+	mu     sync.Mutex
+	sweeps map[string]*sweepJob
+
+	queue     chan task
+	stop      chan struct{}
+	closeOnce sync.Once
+	feederWG  sync.WaitGroup
+	workerWG  sync.WaitGroup
+}
+
+// Option configures a Server.
+type Option func(*Server)
+
+// Workers sets the shared pool size; n <= 0 selects GOMAXPROCS. Like the
+// engine's worker knob, it can never affect any sweep's bytes, only
+// wall-clock time.
+func Workers(n int) Option {
+	return func(s *Server) { s.workers = n }
+}
+
+// Open starts a server over the given spool directory, creating it if
+// needed and recovering every sweep a previous server left behind:
+// finished sweeps become immediately streamable, unfinished ones resume
+// computing from their completed-row watermark.
+func Open(spool string, opts ...Option) (*Server, error) {
+	s := &Server{
+		spool:  spool,
+		sweeps: make(map[string]*sweepJob),
+		queue:  make(chan task),
+		stop:   make(chan struct{}),
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	if s.workers <= 0 {
+		s.workers = runtime.GOMAXPROCS(0)
+	}
+	cache, err := newRowCache(filepath.Join(spool, "cache"))
+	if err != nil {
+		return nil, err
+	}
+	s.cache = cache
+	if err := os.MkdirAll(s.sweepsDir(), 0o755); err != nil {
+		return nil, fmt.Errorf("service: spool: %w", err)
+	}
+	for i := 0; i < s.workers; i++ {
+		s.workerWG.Add(1)
+		go s.workerLoop()
+	}
+	if err := s.recover(); err != nil {
+		s.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+func (s *Server) sweepsDir() string { return filepath.Join(s.spool, "sweeps") }
+
+// NumWorkers returns the shared pool size.
+func (s *Server) NumWorkers() int { return s.workers }
+
+// Close stops scheduling and waits for in-flight work to drain. Sweeps
+// that have not finished stay resumable: their watermark is on disk, and
+// the next Open picks them up. Close is idempotent.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() {
+		close(s.stop)
+		s.feederWG.Wait()
+		close(s.queue)
+		s.workerWG.Wait()
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		for _, sw := range s.sweeps {
+			sw.mu.Lock()
+			if sw.rows != nil {
+				sw.rows.Close()
+				sw.rows = nil
+			}
+			sw.mu.Unlock()
+		}
+	})
+}
+
+// Submit registers a sweep from wire-format spec bytes and starts (or
+// finds) it. Submission is idempotent by content: the sweep id is derived
+// from the canonical encoding's SHA-256, so re-POSTing an identical spec
+// returns the running (or finished) sweep instead of duplicating work.
+func (s *Server) Submit(wire []byte) (sw *sweepJob, created bool, err error) {
+	spec, err := engine.DecodeWireSpec(wire)
+	if err != nil {
+		return nil, false, err
+	}
+	canonical, err := engine.EncodeWireSpec(spec)
+	if err != nil {
+		return nil, false, err
+	}
+	sum := sha256.Sum256(canonical)
+	hash := hex.EncodeToString(sum[:])
+	id := "sw-" + hash[:16]
+
+	s.mu.Lock()
+	if existing, ok := s.sweeps[id]; ok {
+		s.mu.Unlock()
+		return existing, false, nil
+	}
+	s.mu.Unlock()
+
+	exp, err := engine.Expand(spec)
+	if err != nil {
+		return nil, false, err
+	}
+	sw = &sweepJob{
+		id:      id,
+		dir:     filepath.Join(s.sweepsDir(), id),
+		hash:    hash,
+		wire:    canonical,
+		exp:     exp,
+		pending: make(map[int][]byte),
+		notify:  make(chan struct{}),
+	}
+	if err := os.MkdirAll(sw.dir, 0o755); err != nil {
+		return nil, false, fmt.Errorf("service: spool: %w", err)
+	}
+	if err := os.WriteFile(filepath.Join(sw.dir, "spec.json"), canonical, 0o644); err != nil {
+		return nil, false, fmt.Errorf("service: spool: %w", err)
+	}
+	meta, err := json.Marshal(sweepMeta{V: metaVersion, ID: id, SpecHash: hash, Jobs: exp.NumJobs()})
+	if err != nil {
+		return nil, false, err
+	}
+	if err := os.WriteFile(filepath.Join(sw.dir, "meta.json"), meta, 0o644); err != nil {
+		return nil, false, fmt.Errorf("service: spool: %w", err)
+	}
+	watermark, err := sw.openRows()
+	if err != nil {
+		return nil, false, fmt.Errorf("service: spool: %w", err)
+	}
+	sw.completed = watermark
+
+	s.mu.Lock()
+	if racing, ok := s.sweeps[id]; ok {
+		// A concurrent identical submission won the registration; the
+		// spool files both sides wrote are identical by construction.
+		s.mu.Unlock()
+		sw.mu.Lock()
+		if sw.rows != nil {
+			sw.rows.Close()
+		}
+		sw.mu.Unlock()
+		return racing, false, nil
+	}
+	s.sweeps[id] = sw
+	s.mu.Unlock()
+
+	s.startSweep(sw)
+	return sw, true, nil
+}
+
+// Sweep returns a registered sweep by id.
+func (s *Server) Sweep(id string) (*sweepJob, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sw, ok := s.sweeps[id]
+	return sw, ok
+}
+
+// SweepIDs lists the registered sweep ids, sorted.
+func (s *Server) SweepIDs() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ids := make([]string, 0, len(s.sweeps))
+	for id := range s.sweeps {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// recover reloads every sweep directory in the spool: specs re-expand to
+// the same grids (the spec hash in meta.json pins the bytes), rows.jsonl
+// yields the watermark, and unfinished sweeps resume scheduling.
+func (s *Server) recover() error {
+	entries, err := os.ReadDir(s.sweepsDir())
+	if err != nil {
+		return fmt.Errorf("service: spool: %w", err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		id := e.Name()
+		dir := filepath.Join(s.sweepsDir(), id)
+		wire, err := os.ReadFile(filepath.Join(dir, "spec.json"))
+		if err != nil {
+			return fmt.Errorf("service: recover %s: %w", id, err)
+		}
+		metaBytes, err := os.ReadFile(filepath.Join(dir, "meta.json"))
+		if err != nil {
+			return fmt.Errorf("service: recover %s: %w", id, err)
+		}
+		var meta sweepMeta
+		if err := json.Unmarshal(metaBytes, &meta); err != nil {
+			return fmt.Errorf("service: recover %s: meta.json: %w", id, err)
+		}
+		if meta.V != metaVersion {
+			return fmt.Errorf("service: recover %s: meta version %d (this server speaks %d)", id, meta.V, metaVersion)
+		}
+		sum := sha256.Sum256(wire)
+		if hash := hex.EncodeToString(sum[:]); hash != meta.SpecHash {
+			return fmt.Errorf("service: recover %s: spec.json does not match its recorded hash", id)
+		}
+		spec, err := engine.DecodeWireSpec(wire)
+		if err != nil {
+			return fmt.Errorf("service: recover %s: %w", id, err)
+		}
+		exp, err := engine.Expand(spec)
+		if err != nil {
+			return fmt.Errorf("service: recover %s: %w", id, err)
+		}
+		if exp.NumJobs() != meta.Jobs {
+			return fmt.Errorf("service: recover %s: spec expands to %d jobs, meta recorded %d", id, exp.NumJobs(), meta.Jobs)
+		}
+		sw := &sweepJob{
+			id:      id,
+			dir:     dir,
+			hash:    meta.SpecHash,
+			wire:    wire,
+			exp:     exp,
+			pending: make(map[int][]byte),
+			notify:  make(chan struct{}),
+		}
+		watermark, err := sw.openRows()
+		if err != nil {
+			return fmt.Errorf("service: recover %s: %w", id, err)
+		}
+		if watermark > exp.NumJobs() {
+			return fmt.Errorf("service: recover %s: %d rows on disk for %d jobs", id, watermark, exp.NumJobs())
+		}
+		sw.completed = watermark
+		s.mu.Lock()
+		s.sweeps[id] = sw
+		s.mu.Unlock()
+		s.startSweep(sw)
+	}
+	return nil
+}
+
+// startSweep launches the sweep's feeder, or closes the spool handle of an
+// already-complete sweep.
+func (s *Server) startSweep(sw *sweepJob) {
+	sw.mu.Lock()
+	remaining := sw.completed < sw.exp.NumJobs()
+	if !remaining && sw.rows != nil {
+		sw.rows.Close()
+		sw.rows = nil
+	}
+	sw.mu.Unlock()
+	if !remaining {
+		return
+	}
+	s.feederWG.Add(1)
+	go s.feed(sw)
+}
+
+// feed walks the sweep's unfinished job range once: cache hits deliver
+// immediately (re-indexed to this grid), runs of misses shard into chunked
+// tasks on the global pool. The walk starts at the watermark — rows below
+// it are already on disk and are never recomputed or re-emitted.
+func (s *Server) feed(sw *sweepJob) {
+	defer s.feederWG.Done()
+	var chunk []int
+	flush := func() bool {
+		if len(chunk) == 0 {
+			return true
+		}
+		t := task{sw: sw, jobs: chunk}
+		chunk = nil
+		select {
+		case s.queue <- t:
+			return true
+		case <-s.stop:
+			return false
+		}
+	}
+	sw.mu.Lock()
+	start := sw.completed
+	sw.mu.Unlock()
+	for job := start; job < sw.exp.NumJobs(); job++ {
+		select {
+		case <-s.stop:
+			return
+		default:
+		}
+		if stored, ok := s.cache.load(sw.exp.JobKey(job)); ok {
+			if b, err := reindexRow(stored, sw.exp, job); err == nil {
+				if !flush() { // keep delivery order cache-friendly
+					return
+				}
+				sw.deliver(job, b, true)
+				continue
+			}
+			// Undecodable entries degrade to recomputation.
+		}
+		chunk = append(chunk, job)
+		if len(chunk) >= chunkSize {
+			if !flush() {
+				return
+			}
+		}
+	}
+	flush()
+}
+
+// workerLoop is one slot of the shared pool. Runners are per-(worker,
+// sweep): consecutive tasks of the same sweep reuse the runner — and with
+// it the engine's prototype processes and the sweep's shared graph cache.
+func (s *Server) workerLoop() {
+	defer s.workerWG.Done()
+	var cur *sweepJob
+	var runner *engine.JobRunner
+	for t := range s.queue {
+		if t.sw != cur {
+			cur, runner = t.sw, t.sw.exp.NewRunner()
+		}
+		for _, job := range t.jobs {
+			row := runner.Run(job)
+			b, err := engine.RowBytes(row)
+			if err != nil {
+				// A row the canonical codec cannot encode would also have
+				// failed library-mode WriteJSONL; surface it as a sweep
+				// failure rather than dropping the job silently.
+				t.sw.mu.Lock()
+				if t.sw.failed == "" {
+					t.sw.failed = fmt.Sprintf("encode row %d: %v", job, err)
+				}
+				t.sw.broadcast()
+				t.sw.mu.Unlock()
+				continue
+			}
+			// Populate the content-addressed cache with the index-free
+			// form before delivery; a failed store only costs a future
+			// recomputation.
+			indexFree := row
+			indexFree.Index = 0
+			if ib, err := engine.RowBytes(indexFree); err == nil {
+				_ = s.cache.store(t.sw.exp.JobKey(job), ib)
+			}
+			t.sw.deliver(job, b, false)
+		}
+		select {
+		case <-s.stop:
+			return
+		default:
+		}
+	}
+}
+
+// reindexRow rematerializes a cached index-free row under the current
+// grid: decode, restore the job's cell index, re-encode. Byte-stability of
+// the round trip (pinned in the engine's tests) makes the result identical
+// to a fresh computation's bytes.
+func reindexRow(stored []byte, exp *engine.ExpandedSweep, job int) ([]byte, error) {
+	row, err := engine.DecodeRow(stored)
+	if err != nil {
+		return nil, err
+	}
+	cell, _ := exp.Job(job)
+	row.Index = cell.Index
+	return engine.RowBytes(row)
+}

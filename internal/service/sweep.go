@@ -1,0 +1,192 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"rotorring/internal/engine"
+)
+
+// sweepJob is one submitted sweep: its expanded job grid, its spool
+// directory, and the re-sequencer that turns out-of-order job completions
+// back into the canonical row stream.
+//
+// The completed-row watermark IS the checkpoint: rows.jsonl is append-only
+// in canonical order, so its complete-line count says exactly which prefix
+// of the job range is done, and a restarted server resumes scheduling at
+// that index. No other recovery state exists — the spec (hash-pinned in
+// meta.json) re-expands to the same grid, seeds and keys on any machine.
+type sweepJob struct {
+	id   string
+	dir  string
+	hash string // full hex SHA-256 of the canonical wire spec
+	wire []byte // canonical wire spec bytes (the hash preimage)
+	exp  *engine.ExpandedSweep
+
+	mu        sync.Mutex
+	completed int            // rows persisted to rows.jsonl, in order
+	cacheHits int            // jobs served from the row cache this run
+	pending   map[int][]byte // finished rows waiting for their turn
+	failed    string         // persistent failure (spool write error)
+	notify    chan struct{}  // closed and replaced on every state change
+	rows      *os.File       // append handle, nil once done or failed
+}
+
+func (sw *sweepJob) rowsPath() string { return filepath.Join(sw.dir, "rows.jsonl") }
+
+// state reports the sweep's lifecycle phase for the status endpoint.
+func (sw *sweepJob) state() string {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	switch {
+	case sw.failed != "":
+		return "failed"
+	case sw.completed == sw.exp.NumJobs():
+		return "done"
+	default:
+		return "running"
+	}
+}
+
+// wait returns a channel closed at the sweep's next state change; callers
+// re-check their condition and call wait again (the channel is replaced
+// after every broadcast).
+func (sw *sweepJob) wait() <-chan struct{} {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	return sw.notify
+}
+
+func (sw *sweepJob) broadcast() {
+	close(sw.notify)
+	sw.notify = make(chan struct{})
+}
+
+// deliver hands the sequencer one finished job's canonical row bytes
+// (grid index already in place). Rows persist to rows.jsonl strictly in
+// job order: out-of-order completions park in pending until every earlier
+// row has been appended. Jobs below the watermark — possible when a
+// restart re-enqueues work a dying worker had in flight — are dropped:
+// their bytes are already on disk.
+func (sw *sweepJob) deliver(job int, rowBytes []byte, cacheHit bool) {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	if sw.failed != "" || job < sw.completed {
+		return
+	}
+	if cacheHit {
+		sw.cacheHits++
+	}
+	sw.pending[job] = rowBytes
+	for {
+		b, ok := sw.pending[sw.completed]
+		if !ok {
+			break
+		}
+		if _, err := sw.rows.Write(b); err != nil {
+			sw.failed = fmt.Sprintf("spool write: %v", err)
+			break
+		}
+		delete(sw.pending, sw.completed)
+		sw.completed++
+	}
+	if sw.completed == sw.exp.NumJobs() || sw.failed != "" {
+		sw.rows.Close()
+		sw.rows = nil
+	}
+	sw.broadcast()
+}
+
+// snapshot returns the counters the status endpoint reports.
+func (sw *sweepJob) snapshot() (completed, cacheHits int, failed string) {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	return sw.completed, sw.cacheHits, sw.failed
+}
+
+// openRows opens (creating if absent) the sweep's row spool for appending
+// and returns the number of complete rows already persisted. A partial
+// trailing line — the signature of a server killed mid-write — is
+// truncated away so the row is recomputed rather than emitted corrupt;
+// byte-reproducibility makes the recomputation indistinguishable from the
+// interrupted write having succeeded.
+func (sw *sweepJob) openRows() (int, error) {
+	path := sw.rowsPath()
+	data, err := os.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		return 0, err
+	}
+	complete := 0
+	offset := int64(0)
+	for _, line := range bytes.SplitAfter(data, []byte("\n")) {
+		if len(line) == 0 {
+			continue
+		}
+		if line[len(line)-1] != '\n' {
+			break // partial tail: truncate below
+		}
+		complete++
+		offset += int64(len(line))
+	}
+	if offset < int64(len(data)) {
+		if err := os.Truncate(path, offset); err != nil {
+			return 0, err
+		}
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return 0, err
+	}
+	sw.rows = f
+	return complete, nil
+}
+
+// streamRows copies rows [from, NumJobs) to emit as they become available,
+// blocking on the sweep's notifier between appends. emit receives one
+// canonical row line at a time (newline included). stop aborts the stream
+// (client disconnect, server shutdown). Returns after the last row of a
+// finished sweep, or with an error if the sweep failed.
+func (sw *sweepJob) streamRows(from int, emit func([]byte) error, stop <-chan struct{}) error {
+	f, err := os.Open(sw.rowsPath())
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	skipped, emitted := 0, 0
+	for {
+		sw.mu.Lock()
+		avail, failed, total := sw.completed, sw.failed, sw.exp.NumJobs()
+		ch := sw.notify
+		sw.mu.Unlock()
+		for skipped+emitted < avail {
+			line, err := r.ReadBytes('\n')
+			if err != nil {
+				return fmt.Errorf("service: row spool read: %w", err)
+			}
+			if skipped < from {
+				skipped++
+				continue
+			}
+			if err := emit(line); err != nil {
+				return err
+			}
+			emitted++
+		}
+		if failed != "" {
+			return fmt.Errorf("service: sweep failed: %s", failed)
+		}
+		if from+emitted >= total {
+			return nil
+		}
+		select {
+		case <-ch:
+		case <-stop:
+			return nil
+		}
+	}
+}

@@ -51,6 +51,13 @@ func ScheduleNames() []string { return engine.ScheduleNames() }
 // Zero-valued optional fields select defaults: ring topology, PlaceSingleNode,
 // PointerZero, rotor-router process, cover-time metric, one replica,
 // automatic round budget. Seed 0 is a valid base seed.
+//
+// SweepSpec has a versioned JSON wire form — the format the rotord sweep
+// service accepts and the preimage of its content-addressed sweep ids —
+// provided by the specjson package: specjson.Encode produces canonical
+// bytes, specjson.Decode validates and canonicalizes. The wire form spells
+// every enum by its registry name and rejects the deprecated Topology,
+// Walk and ReturnTime fields.
 type SweepSpec struct {
 	// Topologies lists the parameterized topology specs to sweep — one
 	// sweep may mix families freely ("ring", "grid:64x32", "rr:3", ...)
@@ -251,5 +258,24 @@ func (s SweepSpec) WriteJSONL(w io.Writer, workers int) error {
 // order; output is byte-identical for any worker count.
 func (s SweepSpec) WriteCSV(w io.Writer, workers int) error {
 	_, err := engine.New(engine.Workers(workers)).Run(s.engineSpec(), engine.NewCSVSink(w))
+	return err
+}
+
+// SinkNames lists the registered output format names, sorted ("csv",
+// "jsonl", "summary", plus anything other packages register). Each name
+// works with WriteFormat, with rotorsim -format, and with the rotord
+// service's ?format= parameter — the three resolve through one registry.
+func SinkNames() []string { return engine.SinkNames() }
+
+// WriteFormat runs the sweep and streams the rows to w in a registered
+// output format resolved by name; like the typed writers, the output is
+// byte-identical for any worker count. Unknown names fail with an error
+// listing the registered formats.
+func (s SweepSpec) WriteFormat(w io.Writer, format string, workers int) error {
+	sink, err := engine.NewSink(format, w)
+	if err != nil {
+		return err
+	}
+	_, err = engine.New(engine.Workers(workers)).Run(s.engineSpec(), sink)
 	return err
 }
