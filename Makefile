@@ -6,7 +6,7 @@ GO ?= go
 # Benchtime for bench-kernels; CI smoke uses 1x, local comparisons 1s+.
 BENCHTIME ?= 1s
 
-.PHONY: all build vet fmt fmt-check test race race-short bench-smoke bench-kernels bench-baseline bench-json examples-smoke fuzz-smoke service-smoke verify ci clean
+.PHONY: all build vet fmt fmt-check test race race-short bench-smoke bench-kernels bench-baseline bench-json examples-smoke fuzz-smoke service-smoke chaos-smoke verify ci clean
 
 all: verify
 
@@ -83,13 +83,23 @@ examples-smoke:
 service-smoke:
 	$(GO) test -count=1 -v ./cmd/rotord -run '^TestServiceSmoke$$'
 
+# Deterministic fault-injection suite (seeded spoolFS chaos: ENOSPC, torn
+# writes, panicking registry entries, corrupt cache/meta, cancellation,
+# admission limits) plus the end-to-end rotord SIGKILL-during-cancel smoke:
+# every injected fault must land in {failed with cause, quarantined,
+# transparently recovered} with post-fault streams byte-identical to
+# library output.
+chaos-smoke:
+	$(GO) test -count=1 ./internal/service -run '^TestChaos'
+	$(GO) test -count=1 -v ./cmd/rotord -run '^TestChaosCancelKillSmoke$$'
+
 FUZZTIME ?= 10s
 fuzz-smoke:
 	$(GO) test ./internal/core -run '^$$' -fuzz '^FuzzKernelEquivalence$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/engine -run '^$$' -fuzz '^FuzzParseTopo$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/engine -run '^$$' -fuzz '^FuzzParseSchedule$$' -fuzztime $(FUZZTIME)
 
-ci: build vet fmt-check race bench-smoke bench-kernels-smoke examples-smoke service-smoke fuzz-smoke
+ci: build vet fmt-check race bench-smoke bench-kernels-smoke examples-smoke service-smoke chaos-smoke fuzz-smoke
 
 # CI variant of bench-kernels: single iteration, still exercises every tier.
 .PHONY: bench-kernels-smoke

@@ -7,19 +7,24 @@
 //
 // Progress checkpoints and the content-addressed row cache live in the
 // spool directory; killing the server and restarting it on the same spool
-// resumes every unfinished sweep at its completed-row watermark.
+// resumes every unfinished sweep at its completed-row watermark, and any
+// sweep directory recovery cannot trust (a crash landed mid-write) is
+// moved to spool/quarantine/ instead of blocking the boot.
 //
 //	rotord -addr 127.0.0.1:8080 -spool /var/lib/rotord
 //
-// The API (see README.md, "Service", for a walkthrough):
+// The API (see README.md, "Service" and "Operations", for a walkthrough):
 //
-//	POST /v1/sweeps            submit a spec ({"v":1,"topologies":...})
-//	GET  /v1/sweeps            list sweeps
-//	GET  /v1/sweeps/{id}       status (jobs, completed, cacheHits)
-//	GET  /v1/sweeps/{id}/rows  stream JSONL rows; ?from=N resumes at row N,
-//	                           ?format=csv|summary re-renders via the sink
-//	                           registry
-//	GET  /v1/registries        registered names for client introspection
+//	POST   /v1/sweeps            submit a spec ({"v":1,"topologies":...})
+//	GET    /v1/sweeps            list sweeps
+//	GET    /v1/sweeps/{id}       status (jobs, completed, cacheHits)
+//	GET    /v1/sweeps/{id}/rows  stream JSONL rows; ?from=N resumes at row
+//	                             N, ?format=csv|summary re-renders via the
+//	                             sink registry
+//	DELETE /v1/sweeps/{id}       cancel the sweep and remove its spool
+//	GET    /v1/registries        registered names for client introspection
+//	GET    /healthz              liveness probe
+//	GET    /readyz               readiness probe (recovery done, pool live)
 package main
 
 import (
@@ -49,11 +54,21 @@ func run(args []string) error {
 	addr := fs.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free port)")
 	spool := fs.String("spool", "rotord-spool", "spool directory: sweep checkpoints and the content-addressed row cache")
 	workers := fs.Int("workers", 0, "shared worker pool size (0 = GOMAXPROCS); never affects result bytes")
+	maxBody := fs.Int64("max-body-bytes", 0, "largest accepted spec body in bytes (0 = the 1 MiB default); over-limit POSTs get 413")
+	maxJobs := fs.Int("max-jobs", 0, "largest job grid one sweep may expand to (0 = unlimited); larger sweeps get 413")
+	maxActive := fs.Int("max-active", 0, "most concurrently running sweeps (0 = unlimited); excess submissions get 429 + Retry-After")
+	drain := fs.Duration("drain", 0, "how long shutdown waits for in-flight jobs (0 = the 30s default); the spool watermark stays exact either way")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	srv, err := service.Open(*spool, service.Workers(*workers))
+	srv, err := service.Open(*spool,
+		service.Workers(*workers),
+		service.MaxBodyBytes(*maxBody),
+		service.MaxExpandedJobs(*maxJobs),
+		service.MaxActiveSweeps(*maxActive),
+		service.DrainTimeout(*drain),
+	)
 	if err != nil {
 		return err
 	}
@@ -78,9 +93,10 @@ func run(args []string) error {
 		return err
 	case <-sig:
 	}
-	// Graceful stop: finish in-flight responses briefly, then persist the
-	// watermark via srv.Close (deferred). A SIGKILL skips all of this and
-	// still loses nothing but in-flight rows — the spool resumes them.
+	// Graceful stop: finish in-flight responses briefly, then drain the
+	// pool under the bounded deadline via srv.Close (deferred). A SIGKILL
+	// skips all of this and still loses nothing but in-flight rows — the
+	// spool resumes them, quarantining anything a crash left half-written.
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {

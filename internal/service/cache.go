@@ -4,7 +4,6 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
-	"os"
 	"path/filepath"
 )
 
@@ -25,16 +24,21 @@ import (
 // The cache is crash-safe by construction: entries are written to a temp
 // file and renamed into place, so a killed server leaves either a complete
 // entry or none. Lookups and stores race benignly — both sides of a race
-// write identical bytes.
+// write identical bytes. The cache is also strictly best-effort in both
+// directions: a corrupt entry is deleted and recomputed (never fatal), and
+// a failed store only costs a future recomputation — but never silently:
+// callers route store errors through sweepJob.noteCacheWriteErr, so the
+// loss is logged and counted in the sweep's status.
 type rowCache struct {
 	dir string
+	fs  spoolFS
 }
 
-func newRowCache(dir string) (*rowCache, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+func newRowCache(dir string, fs spoolFS) (*rowCache, error) {
+	if err := fs.MkdirAll(dir); err != nil {
 		return nil, fmt.Errorf("service: row cache: %w", err)
 	}
-	return &rowCache{dir: dir}, nil
+	return &rowCache{dir: dir, fs: fs}, nil
 }
 
 // addr maps a job key to its entry path, sharded by the digest's first
@@ -46,34 +50,46 @@ func (c *rowCache) addr(jobKey string) string {
 }
 
 // load returns the stored index-free row bytes for jobKey, if present.
+// Entries that are visibly corrupt (empty, missing the trailing newline)
+// are deleted on sight so the recomputed row can take their place.
 func (c *rowCache) load(jobKey string) ([]byte, bool) {
-	b, err := os.ReadFile(c.addr(jobKey))
-	if err != nil || len(b) == 0 || b[len(b)-1] != '\n' {
-		// Unreadable or truncated entries read as misses: the job just
-		// recomputes and overwrites them.
+	path := c.addr(jobKey)
+	b, err := c.fs.ReadFile(path)
+	if err != nil {
+		return nil, false
+	}
+	if len(b) == 0 || b[len(b)-1] != '\n' {
+		_ = c.fs.Remove(path)
 		return nil, false
 	}
 	return b, true
 }
 
+// remove deletes the entry for jobKey; callers use it when an entry that
+// looked complete turns out undecodable, so the corruption cannot shadow
+// the recomputed row forever.
+func (c *rowCache) remove(jobKey string) {
+	_ = c.fs.Remove(c.addr(jobKey))
+}
+
 // store writes the index-free row bytes for jobKey atomically.
 func (c *rowCache) store(jobKey string, rowBytes []byte) error {
 	path := c.addr(jobKey)
-	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+	if err := c.fs.MkdirAll(filepath.Dir(path)); err != nil {
 		return err
 	}
-	tmp, err := os.CreateTemp(filepath.Dir(path), ".row-*")
+	tmp, err := c.fs.CreateTemp(filepath.Dir(path), ".row-*")
 	if err != nil {
 		return err
 	}
 	if _, err := tmp.Write(rowBytes); err != nil {
 		tmp.Close()
-		os.Remove(tmp.Name())
+		c.fs.Remove(tmp.Name())
 		return err
 	}
 	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
+		c.fs.Remove(tmp.Name())
 		return err
 	}
-	return os.Rename(tmp.Name(), path)
+	return c.fs.Rename(tmp.Name(), path)
 }

@@ -1,0 +1,302 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+
+	"rotorring/internal/engine"
+)
+
+// spoolFS is the seam between the service and its spool storage. Every
+// byte the server persists — sweep specs, meta documents, row spools, the
+// content-addressed cache, quarantine moves — goes through this interface,
+// so the chaos suite can inject ENOSPC, torn writes and fail-after-N-bytes
+// faults deterministically without touching a real disk's failure modes.
+//
+// The production implementation (osFS) is a thin veneer over the os
+// package; the fault-injecting implementation (chaosFS) wraps any spoolFS
+// and applies a rule table whose nondeterministic choices (torn-write cut
+// points) are derived from a seed in the repo's configuration-derived-seed
+// style, so a failing chaos test replays byte-for-byte.
+type spoolFS interface {
+	MkdirAll(path string) error
+	ReadDir(path string) ([]os.DirEntry, error)
+	ReadFile(path string) ([]byte, error)
+	// Open opens a file for reading (row streaming).
+	Open(path string) (io.ReadCloser, error)
+	// OpenAppend opens path for appending, creating it if absent.
+	OpenAppend(path string) (spoolFile, error)
+	// CreateTemp creates a new temp file in dir (crash-atomic writes:
+	// write to the temp file, Sync, Close, Rename into place).
+	CreateTemp(dir, pattern string) (spoolFile, error)
+	Rename(oldpath, newpath string) error
+	Truncate(path string, size int64) error
+	Remove(path string) error
+	RemoveAll(path string) error
+}
+
+// spoolFile is a writable spool file handle.
+type spoolFile interface {
+	io.WriteCloser
+	Name() string
+	Sync() error
+}
+
+// osFS is the real spool storage.
+type osFS struct{}
+
+func (osFS) MkdirAll(path string) error                 { return os.MkdirAll(path, 0o755) }
+func (osFS) ReadDir(path string) ([]os.DirEntry, error) { return os.ReadDir(path) }
+func (osFS) ReadFile(path string) ([]byte, error)       { return os.ReadFile(path) }
+func (osFS) Open(path string) (io.ReadCloser, error)    { return os.Open(path) }
+func (osFS) Rename(oldpath, newpath string) error       { return os.Rename(oldpath, newpath) }
+func (osFS) Truncate(path string, size int64) error     { return os.Truncate(path, size) }
+func (osFS) Remove(path string) error                   { return os.Remove(path) }
+func (osFS) RemoveAll(path string) error                { return os.RemoveAll(path) }
+
+func (osFS) OpenAppend(path string) (spoolFile, error) {
+	return os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+}
+
+func (osFS) CreateTemp(dir, pattern string) (spoolFile, error) {
+	return os.CreateTemp(dir, pattern)
+}
+
+// Fault-injection ops, as named in faultRule.Op.
+const (
+	opAppend   = "append" // writes through an OpenAppend handle
+	opCreate   = "create" // CreateTemp (and writes through its handle)
+	opRename   = "rename"
+	opTruncate = "truncate"
+	opRemove   = "remove"
+	opSync     = "sync"
+)
+
+// faultKind selects what a fired rule does to the intercepted operation.
+type faultKind int
+
+const (
+	// faultENOSPC lets the rule's byte allowance through, then fails with
+	// ENOSPC — the fail-after-N-bytes model of a filling disk.
+	faultENOSPC faultKind = iota
+	// faultTorn writes a strict non-empty prefix of the buffer — its
+	// length derived from the injector seed — then fails: the signature
+	// of a kill or media error mid-write.
+	faultTorn
+	// faultErr fails the operation outright with a generic injected error.
+	faultErr
+)
+
+// faultRule arms one deterministic fault. Zero values mean "any": an empty
+// Path matches every file, Skip 0 fires on the first matching op.
+type faultRule struct {
+	Op    string // which operation to intercept (op* constants)
+	Path  string // substring the file path must contain
+	Kind  faultKind
+	Skip  int   // matching ops to let through untouched first
+	After int64 // faultENOSPC on appends: bytes to let through per file
+	seen  int   // matching ops observed so far
+	fired bool
+}
+
+// chaosFS wraps a spoolFS and injects the armed faults. All choices are
+// deterministic: rules fire on exact op counts, and torn-write cut points
+// come from engine.DeriveSeed over (seed, op index) — the same derivation
+// discipline the sweep engine uses for job seeds.
+type chaosFS struct {
+	inner spoolFS
+	seed  uint64
+
+	mu      sync.Mutex
+	rules   []*faultRule
+	nops    uint64           // intercepted write-path ops, drives seeded cuts
+	written map[string]int64 // appended bytes per path, drives After
+}
+
+func newChaosFS(inner spoolFS, seed uint64) *chaosFS {
+	return &chaosFS{inner: inner, seed: seed, written: make(map[string]int64)}
+}
+
+// arm adds a fault rule. Rules fire at most once each.
+func (c *chaosFS) arm(r faultRule) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.rules = append(c.rules, &r)
+}
+
+// heal disarms every rule: subsequent ops pass through untouched.
+func (c *chaosFS) heal() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.rules = nil
+}
+
+func injectedENOSPC(op, path string) error {
+	return &fs.PathError{Op: op, Path: path, Err: syscall.ENOSPC}
+}
+
+// match finds the armed rule for (op, path), honoring Skip, or nil.
+// Callers hold c.mu.
+func (c *chaosFS) match(op, path string) *faultRule {
+	for _, r := range c.rules {
+		if r.fired || r.Op != op || !strings.Contains(path, r.Path) {
+			continue
+		}
+		if r.seen++; r.seen <= r.Skip {
+			continue
+		}
+		return r
+	}
+	return nil
+}
+
+// checkOp applies rules to a non-write operation.
+func (c *chaosFS) checkOp(op, path string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nops++
+	r := c.match(op, path)
+	if r == nil {
+		return nil
+	}
+	r.fired = true
+	if r.Kind == faultENOSPC {
+		return injectedENOSPC(op, path)
+	}
+	return &fs.PathError{Op: op, Path: path, Err: fmt.Errorf("injected %s fault", op)}
+}
+
+// checkWrite applies rules to one write of len(p) bytes against path,
+// returning how many bytes to pass through to the real file and the error
+// to report after them (nil = the whole write goes through cleanly).
+func (c *chaosFS) checkWrite(op, path string, p []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nops++
+	r := c.match(op, path)
+	if r == nil {
+		c.written[path] += int64(len(p))
+		return len(p), nil
+	}
+	switch r.Kind {
+	case faultTorn:
+		// A strict non-empty prefix whenever possible, so the tear is
+		// observable on disk; the cut point replays from the seed.
+		cut := 0
+		if len(p) > 1 {
+			cut = 1 + int(engine.DeriveSeed(c.seed, c.nops)%uint64(len(p)-1))
+		}
+		r.fired = true
+		c.written[path] += int64(cut)
+		return cut, injectedENOSPC(op, path)
+	case faultENOSPC:
+		allow := r.After - c.written[path]
+		if allow < 0 {
+			allow = 0
+		}
+		if allow >= int64(len(p)) {
+			// Still under the allowance: let it through, keep the rule
+			// armed for the write that crosses the boundary.
+			r.seen-- // not consumed
+			c.written[path] += int64(len(p))
+			return len(p), nil
+		}
+		r.fired = true
+		c.written[path] += allow
+		return int(allow), injectedENOSPC(op, path)
+	default:
+		r.fired = true
+		return 0, &fs.PathError{Op: op, Path: path, Err: fmt.Errorf("injected %s fault", op)}
+	}
+}
+
+func (c *chaosFS) MkdirAll(path string) error                 { return c.inner.MkdirAll(path) }
+func (c *chaosFS) ReadDir(path string) ([]os.DirEntry, error) { return c.inner.ReadDir(path) }
+func (c *chaosFS) ReadFile(path string) ([]byte, error)       { return c.inner.ReadFile(path) }
+func (c *chaosFS) Open(path string) (io.ReadCloser, error)    { return c.inner.Open(path) }
+
+func (c *chaosFS) Rename(oldpath, newpath string) error {
+	if err := c.checkOp(opRename, newpath); err != nil {
+		return err
+	}
+	return c.inner.Rename(oldpath, newpath)
+}
+
+func (c *chaosFS) Truncate(path string, size int64) error {
+	if err := c.checkOp(opTruncate, path); err != nil {
+		return err
+	}
+	return c.inner.Truncate(path, size)
+}
+
+func (c *chaosFS) Remove(path string) error {
+	if err := c.checkOp(opRemove, path); err != nil {
+		return err
+	}
+	return c.inner.Remove(path)
+}
+
+func (c *chaosFS) RemoveAll(path string) error {
+	if err := c.checkOp(opRemove, path); err != nil {
+		return err
+	}
+	return c.inner.RemoveAll(path)
+}
+
+func (c *chaosFS) OpenAppend(path string) (spoolFile, error) {
+	f, err := c.inner.OpenAppend(path)
+	if err != nil {
+		return nil, err
+	}
+	return &chaosFile{c: c, op: opAppend, f: f}, nil
+}
+
+func (c *chaosFS) CreateTemp(dir, pattern string) (spoolFile, error) {
+	if err := c.checkOp(opCreate, filepath.Join(dir, pattern)); err != nil {
+		return nil, err
+	}
+	f, err := c.inner.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &chaosFile{c: c, op: opCreate, f: f}, nil
+}
+
+// chaosFile intercepts writes and syncs on one open handle.
+type chaosFile struct {
+	c  *chaosFS
+	op string
+	f  spoolFile
+}
+
+func (cf *chaosFile) Name() string { return cf.f.Name() }
+func (cf *chaosFile) Close() error { return cf.f.Close() }
+
+func (cf *chaosFile) Sync() error {
+	if err := cf.c.checkOp(opSync, cf.f.Name()); err != nil {
+		return err
+	}
+	return cf.f.Sync()
+}
+
+func (cf *chaosFile) Write(p []byte) (int, error) {
+	allow, injected := cf.c.checkWrite(cf.op, cf.f.Name(), p)
+	n := 0
+	if allow > 0 {
+		var err error
+		n, err = cf.f.Write(p[:allow])
+		if err != nil {
+			return n, err
+		}
+	}
+	if injected != nil {
+		return n, injected
+	}
+	return n, nil
+}

@@ -2,6 +2,7 @@ package service
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -12,27 +13,31 @@ import (
 	"rotorring/probe"
 )
 
-// maxSpecBytes bounds a POSTed spec; wire specs are small, and the limit
-// keeps a stray upload from ballooning memory.
-const maxSpecBytes = 1 << 20
-
 // Handler returns the service's HTTP API:
 //
-//	POST /v1/sweeps            submit a wire-format SweepSpec, get a sweep id
-//	GET  /v1/sweeps            list known sweeps
-//	GET  /v1/sweeps/{id}       status: jobs, completed watermark, cache hits
-//	GET  /v1/sweeps/{id}/rows  stream rows in canonical order (JSONL;
-//	                           ?from=N resumes at row N, ?format= selects a
-//	                           registered sink format)
-//	GET  /v1/registries        registered process/metric/topology/schedule/
-//	                           sink/probe names for client introspection
+//	POST   /v1/sweeps            submit a wire-format SweepSpec, get a sweep id
+//	GET    /v1/sweeps            list known sweeps
+//	GET    /v1/sweeps/{id}       status: jobs, completed watermark, cache hits
+//	GET    /v1/sweeps/{id}/rows  stream rows in canonical order (JSONL;
+//	                             ?from=N resumes at row N, ?format= selects a
+//	                             registered sink format)
+//	DELETE /v1/sweeps/{id}       cancel the sweep: scheduling stops, streams
+//	                             end, the spool directory is removed
+//	GET    /v1/registries        registered process/metric/topology/schedule/
+//	                             sink/probe names for client introspection
+//	GET    /healthz              liveness: 200 while the process serves
+//	GET    /readyz               readiness: 200 once recovery finished and
+//	                             the pool is live; includes quarantined ids
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/sweeps", s.handleSubmit)
 	mux.HandleFunc("GET /v1/sweeps", s.handleList)
 	mux.HandleFunc("GET /v1/sweeps/{id}", s.handleStatus)
 	mux.HandleFunc("GET /v1/sweeps/{id}/rows", s.handleRows)
+	mux.HandleFunc("DELETE /v1/sweeps/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/registries", s.handleRegistries)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	return mux
 }
 
@@ -50,10 +55,30 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	json.NewEncoder(w).Encode(v)
 }
 
+// submitError maps a Submit failure to its HTTP status: admission limits
+// carry their own code (413/429 + Retry-After), spool trouble is a server
+// fault (500), anything else is the client's spec (400).
+func submitError(w http.ResponseWriter, err error) {
+	var adm *admissionError
+	if errors.As(err, &adm) {
+		if adm.retryAfter > 0 {
+			w.Header().Set("Retry-After", strconv.Itoa(adm.retryAfter))
+		}
+		httpError(w, adm.status, "%s", adm.msg)
+		return
+	}
+	var sp *spoolError
+	if errors.As(err, &sp) {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	httpError(w, http.StatusBadRequest, "%v", err)
+}
+
 // sweepStatus is the status document of one sweep.
 type sweepStatus struct {
 	ID string `json:"id"`
-	// State is "running", "done" or "failed".
+	// State is "running", "done", "failed" or "canceled".
 	State string `json:"state"`
 	// Jobs is the expanded job count (cells x replicas); Cells and
 	// Replicas break it down.
@@ -65,40 +90,45 @@ type sweepStatus struct {
 	Completed int `json:"completed"`
 	// CacheHits counts jobs this server run served from the row cache.
 	CacheHits int `json:"cacheHits"`
+	// CacheWriteErrors counts row-cache stores that failed this server
+	// run; the sweep's own rows are unaffected, but the failed entries
+	// will recompute instead of replaying on the next overlapping sweep.
+	CacheWriteErrors int `json:"cacheWriteErrors,omitempty"`
 	// SpecHash is the SHA-256 of the canonical wire spec (the id's
 	// preimage).
 	SpecHash string `json:"specHash"`
 	Error    string `json:"error,omitempty"`
+	// FailedJob is the content-address key of the job whose panic or
+	// encode failure failed the sweep, when the fault is job-tied.
+	FailedJob string `json:"failedJob,omitempty"`
 }
 
 func (s *Server) status(sw *sweepJob) sweepStatus {
-	completed, hits, failed := sw.snapshot()
+	c := sw.snapshot()
 	return sweepStatus{
-		ID:        sw.id,
-		State:     sw.state(),
-		Jobs:      sw.exp.NumJobs(),
-		Cells:     sw.exp.NumCells(),
-		Replicas:  sw.exp.Replicas(),
-		Completed: completed,
-		CacheHits: hits,
-		SpecHash:  sw.hash,
-		Error:     failed,
+		ID:               sw.id,
+		State:            sw.state(),
+		Jobs:             sw.exp.NumJobs(),
+		Cells:            sw.exp.NumCells(),
+		Replicas:         sw.exp.Replicas(),
+		Completed:        c.completed,
+		CacheHits:        c.cacheHits,
+		CacheWriteErrors: c.cacheWriteErrs,
+		SpecHash:         sw.hash,
+		Error:            c.failed,
+		FailedJob:        c.failedJob,
 	}
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
-	body, err := io.ReadAll(io.LimitReader(r.Body, maxSpecBytes+1))
+	body, err := io.ReadAll(io.LimitReader(r.Body, s.maxBody+1))
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "read body: %v", err)
 		return
 	}
-	if len(body) > maxSpecBytes {
-		httpError(w, http.StatusRequestEntityTooLarge, "spec exceeds %d bytes", maxSpecBytes)
-		return
-	}
 	sw, created, err := s.Submit(body)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
+		submitError(w, err)
 		return
 	}
 	code := http.StatusOK
@@ -132,10 +162,44 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.status(sw))
 }
 
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	sw, ok := s.Sweep(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown sweep %q", r.PathValue("id"))
+		return
+	}
+	if err := s.Cancel(sw); err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.status(sw))
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	body := map[string]any{
+		"ready":       s.ready.Load(),
+		"workers":     s.NumWorkers(),
+		"quarantined": s.Quarantined(),
+	}
+	code := http.StatusOK
+	if !s.ready.Load() {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, body)
+}
+
 func (s *Server) handleRows(w http.ResponseWriter, r *http.Request) {
 	sw, ok := s.Sweep(r.PathValue("id"))
 	if !ok {
 		httpError(w, http.StatusNotFound, "unknown sweep %q", r.PathValue("id"))
+		return
+	}
+	if sw.state() == "canceled" {
+		httpError(w, http.StatusGone, "sweep %s was canceled; its rows are gone", sw.id)
 		return
 	}
 	from := 0
@@ -152,9 +216,10 @@ func (s *Server) handleRows(w http.ResponseWriter, r *http.Request) {
 		format = "jsonl"
 	}
 
-	// The stream aborts when the client goes away or the server shuts
-	// down; the cursor model makes reconnecting with ?from=<received>
-	// lossless either way.
+	// The stream aborts when the client goes away (request context) or the
+	// server shuts down; the cursor model makes reconnecting with
+	// ?from=<received> lossless either way. A cancel mid-stream ends the
+	// stream via streamRows' canceled check.
 	stop := make(chan struct{})
 	go func() {
 		select {

@@ -217,11 +217,11 @@ func killServer(t *testing.T, ts *testServer, id string) int {
 	t.Helper()
 	deadline := time.Now().Add(30 * time.Second)
 	for {
-		completed, _, failed := mustSweep(t, ts.srv, id).snapshot()
-		if failed != "" {
-			t.Fatalf("sweep failed before kill: %s", failed)
+		c := mustSweep(t, ts.srv, id).snapshot()
+		if c.failed != "" {
+			t.Fatalf("sweep failed before kill: %s", c.failed)
 		}
-		if completed > 0 {
+		if c.completed > 0 {
 			break
 		}
 		if time.Now().After(deadline) {
@@ -231,8 +231,7 @@ func killServer(t *testing.T, ts *testServer, id string) int {
 	}
 	ts.http.Close()
 	ts.srv.Close()
-	completed, _, _ := mustSweep(t, ts.srv, id).snapshot()
-	return completed
+	return mustSweep(t, ts.srv, id).snapshot().completed
 }
 
 func mustSweep(t *testing.T, srv *Server, id string) *sweepJob {

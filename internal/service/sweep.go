@@ -3,13 +3,18 @@ package service
 import (
 	"bufio"
 	"bytes"
+	"errors"
 	"fmt"
-	"os"
+	iofs "io/fs"
+	"log"
 	"path/filepath"
 	"sync"
 
 	"rotorring/internal/engine"
 )
+
+// errCanceled terminates streams of a canceled sweep.
+var errCanceled = errors.New("service: sweep canceled")
 
 // sweepJob is one submitted sweep: its expanded job grid, its spool
 // directory, and the re-sequencer that turns out-of-order job completions
@@ -20,20 +25,32 @@ import (
 // of the job range is done, and a restarted server resumes scheduling at
 // that index. No other recovery state exists — the spec (hash-pinned in
 // meta.json) re-expands to the same grid, seeds and keys on any machine.
+//
+// Failure state is deliberately softer than the checkpoint: failed records
+// why *this server run* stopped working on the sweep (spool write error,
+// panicking job), but the on-disk watermark stays valid, so a restart
+// retries the sweep from exactly where the fault struck. canceled is the
+// one terminal state: the spool directory is gone and only the in-memory
+// tombstone remains.
 type sweepJob struct {
 	id   string
 	dir  string
 	hash string // full hex SHA-256 of the canonical wire spec
 	wire []byte // canonical wire spec bytes (the hash preimage)
 	exp  *engine.ExpandedSweep
+	fs   spoolFS
 
-	mu        sync.Mutex
-	completed int            // rows persisted to rows.jsonl, in order
-	cacheHits int            // jobs served from the row cache this run
-	pending   map[int][]byte // finished rows waiting for their turn
-	failed    string         // persistent failure (spool write error)
-	notify    chan struct{}  // closed and replaced on every state change
-	rows      *os.File       // append handle, nil once done or failed
+	mu             sync.Mutex
+	completed      int            // rows persisted to rows.jsonl, in order
+	cacheHits      int            // jobs served from the row cache this run
+	cacheWriteErrs int            // failed row-cache stores this run
+	cacheWriteLog  bool           // first cache-write failure already logged
+	pending        map[int][]byte // finished rows waiting for their turn
+	failed         string         // persistent failure (spool write, panic)
+	failedJob      string         // JobKey of the job that failed the sweep
+	canceled       bool           // DELETE'd: spool removed, tombstone only
+	notify         chan struct{}  // closed and replaced on every state change
+	rows           spoolFile      // append handle, nil once done/failed/canceled
 }
 
 func (sw *sweepJob) rowsPath() string { return filepath.Join(sw.dir, "rows.jsonl") }
@@ -43,6 +60,8 @@ func (sw *sweepJob) state() string {
 	sw.mu.Lock()
 	defer sw.mu.Unlock()
 	switch {
+	case sw.canceled:
+		return "canceled"
 	case sw.failed != "":
 		return "failed"
 	case sw.completed == sw.exp.NumJobs():
@@ -50,6 +69,15 @@ func (sw *sweepJob) state() string {
 	default:
 		return "running"
 	}
+}
+
+// runnable reports whether the sweep still wants jobs executed: feeders
+// and workers check it so a failed or canceled sweep stops consuming the
+// shared pool immediately instead of after its whole job range.
+func (sw *sweepJob) runnable() bool {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	return !sw.canceled && sw.failed == "" && sw.completed < sw.exp.NumJobs()
 }
 
 // wait returns a channel closed at the sweep's next state change; callers
@@ -66,16 +94,71 @@ func (sw *sweepJob) broadcast() {
 	sw.notify = make(chan struct{})
 }
 
+// fail marks the sweep failed with a cause (and, when the fault is tied to
+// one job, that job's content-address key). The first fault wins; a sweep
+// already canceled stays canceled. The watermark on disk is untouched, so
+// a restart retries from it.
+func (sw *sweepJob) fail(cause, jobKey string) {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	if sw.canceled || sw.failed != "" {
+		return
+	}
+	sw.failed = cause
+	sw.failedJob = jobKey
+	if sw.rows != nil {
+		sw.rows.Close()
+		sw.rows = nil
+	}
+	sw.broadcast()
+}
+
+// cancel flips the sweep into its terminal canceled state: the append
+// handle closes, parked rows drop, streams wake up and end. Removing the
+// spool directory is the caller's (the Server's) job. Idempotent.
+func (sw *sweepJob) cancel() (already bool) {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	if sw.canceled {
+		return true
+	}
+	sw.canceled = true
+	sw.pending = make(map[int][]byte)
+	if sw.rows != nil {
+		sw.rows.Close()
+		sw.rows = nil
+	}
+	sw.broadcast()
+	return false
+}
+
+// noteCacheWriteErr counts a failed row-cache store. The first failure of
+// a sweep logs (later ones are almost always the same full disk); the
+// count surfaces in the status document so a silent cache degradation is
+// visible to operators.
+func (sw *sweepJob) noteCacheWriteErr(err error) {
+	sw.mu.Lock()
+	sw.cacheWriteErrs++
+	first := !sw.cacheWriteLog
+	sw.cacheWriteLog = true
+	sw.mu.Unlock()
+	if first {
+		log.Printf("service: sweep %s: row cache store failed (counting further failures silently): %v", sw.id, err)
+	}
+}
+
 // deliver hands the sequencer one finished job's canonical row bytes
 // (grid index already in place). Rows persist to rows.jsonl strictly in
 // job order: out-of-order completions park in pending until every earlier
 // row has been appended. Jobs below the watermark — possible when a
 // restart re-enqueues work a dying worker had in flight — are dropped:
-// their bytes are already on disk.
+// their bytes are already on disk. Deliveries racing a failure, a cancel
+// or a server drain (rows == nil) are dropped too; nothing about them is
+// lost, the watermark simply stops before them.
 func (sw *sweepJob) deliver(job int, rowBytes []byte, cacheHit bool) {
 	sw.mu.Lock()
 	defer sw.mu.Unlock()
-	if sw.failed != "" || job < sw.completed {
+	if sw.failed != "" || sw.canceled || sw.rows == nil || job < sw.completed {
 		return
 	}
 	if cacheHit {
@@ -95,29 +178,48 @@ func (sw *sweepJob) deliver(job int, rowBytes []byte, cacheHit bool) {
 		sw.completed++
 	}
 	if sw.completed == sw.exp.NumJobs() || sw.failed != "" {
-		sw.rows.Close()
-		sw.rows = nil
+		if sw.rows != nil {
+			sw.rows.Close()
+			sw.rows = nil
+		}
 	}
 	sw.broadcast()
 }
 
+// sweepCounters is the mutable state the status endpoint reports.
+type sweepCounters struct {
+	completed      int
+	cacheHits      int
+	cacheWriteErrs int
+	failed         string
+	failedJob      string
+	canceled       bool
+}
+
 // snapshot returns the counters the status endpoint reports.
-func (sw *sweepJob) snapshot() (completed, cacheHits int, failed string) {
+func (sw *sweepJob) snapshot() sweepCounters {
 	sw.mu.Lock()
 	defer sw.mu.Unlock()
-	return sw.completed, sw.cacheHits, sw.failed
+	return sweepCounters{
+		completed:      sw.completed,
+		cacheHits:      sw.cacheHits,
+		cacheWriteErrs: sw.cacheWriteErrs,
+		failed:         sw.failed,
+		failedJob:      sw.failedJob,
+		canceled:       sw.canceled,
+	}
 }
 
 // openRows opens (creating if absent) the sweep's row spool for appending
 // and returns the number of complete rows already persisted. A partial
-// trailing line — the signature of a server killed mid-write — is
-// truncated away so the row is recomputed rather than emitted corrupt;
-// byte-reproducibility makes the recomputation indistinguishable from the
-// interrupted write having succeeded.
+// trailing line — the signature of a server killed (or a disk filled) mid-
+// write — is truncated away so the row is recomputed rather than emitted
+// corrupt; byte-reproducibility makes the recomputation indistinguishable
+// from the interrupted write having succeeded.
 func (sw *sweepJob) openRows() (int, error) {
 	path := sw.rowsPath()
-	data, err := os.ReadFile(path)
-	if err != nil && !os.IsNotExist(err) {
+	data, err := sw.fs.ReadFile(path)
+	if err != nil && !errors.Is(err, iofs.ErrNotExist) {
 		return 0, err
 	}
 	complete := 0
@@ -133,11 +235,11 @@ func (sw *sweepJob) openRows() (int, error) {
 		offset += int64(len(line))
 	}
 	if offset < int64(len(data)) {
-		if err := os.Truncate(path, offset); err != nil {
+		if err := sw.fs.Truncate(path, offset); err != nil {
 			return 0, err
 		}
 	}
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := sw.fs.OpenAppend(path)
 	if err != nil {
 		return 0, err
 	}
@@ -149,9 +251,10 @@ func (sw *sweepJob) openRows() (int, error) {
 // blocking on the sweep's notifier between appends. emit receives one
 // canonical row line at a time (newline included). stop aborts the stream
 // (client disconnect, server shutdown). Returns after the last row of a
-// finished sweep, or with an error if the sweep failed.
+// finished sweep, or with an error if the sweep failed or was canceled
+// mid-stream.
 func (sw *sweepJob) streamRows(from int, emit func([]byte) error, stop <-chan struct{}) error {
-	f, err := os.Open(sw.rowsPath())
+	f, err := sw.fs.Open(sw.rowsPath())
 	if err != nil {
 		return err
 	}
@@ -160,7 +263,7 @@ func (sw *sweepJob) streamRows(from int, emit func([]byte) error, stop <-chan st
 	skipped, emitted := 0, 0
 	for {
 		sw.mu.Lock()
-		avail, failed, total := sw.completed, sw.failed, sw.exp.NumJobs()
+		avail, failed, canceled, total := sw.completed, sw.failed, sw.canceled, sw.exp.NumJobs()
 		ch := sw.notify
 		sw.mu.Unlock()
 		for skipped+emitted < avail {
@@ -176,6 +279,9 @@ func (sw *sweepJob) streamRows(from int, emit func([]byte) error, stop <-chan st
 				return err
 			}
 			emitted++
+		}
+		if canceled {
+			return errCanceled
 		}
 		if failed != "" {
 			return fmt.Errorf("service: sweep failed: %s", failed)
