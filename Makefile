@@ -6,7 +6,7 @@ GO ?= go
 # Benchtime for bench-kernels; CI smoke uses 1x, local comparisons 1s+.
 BENCHTIME ?= 1s
 
-.PHONY: all build vet fmt fmt-check test race race-short bench-smoke bench-kernels bench-baseline bench-json examples-smoke fuzz-smoke service-smoke chaos-smoke verify ci clean
+.PHONY: all build vet fmt fmt-check test race race-short bench-smoke bench-kernels bench-baseline bench-json examples-smoke fuzz-smoke service-smoke chaos-smoke cluster-smoke verify ci clean
 
 all: verify
 
@@ -93,13 +93,20 @@ chaos-smoke:
 	$(GO) test -count=1 ./internal/service -run '^TestChaos'
 	$(GO) test -count=1 -v ./cmd/rotord -run '^TestChaosCancelKillSmoke$$'
 
+# End-to-end cluster smoke: build the real rotord binary, run one
+# coordinator plus two worker processes, SIGKILL one worker while it holds
+# a lease, and prove the coordinator reassigns its unfinished jobs and the
+# finished stream is byte-identical to library-mode RunSweep output.
+cluster-smoke:
+	$(GO) test -count=1 -v ./cmd/rotord -run '^TestClusterSmoke$$'
+
 FUZZTIME ?= 10s
 fuzz-smoke:
 	$(GO) test ./internal/core -run '^$$' -fuzz '^FuzzKernelEquivalence$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/engine -run '^$$' -fuzz '^FuzzParseTopo$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/engine -run '^$$' -fuzz '^FuzzParseSchedule$$' -fuzztime $(FUZZTIME)
 
-ci: build vet fmt-check race bench-smoke bench-kernels-smoke examples-smoke service-smoke chaos-smoke fuzz-smoke
+ci: build vet fmt-check race bench-smoke bench-kernels-smoke examples-smoke service-smoke chaos-smoke cluster-smoke fuzz-smoke
 
 # CI variant of bench-kernels: single iteration, still exercises every tier.
 .PHONY: bench-kernels-smoke

@@ -32,7 +32,14 @@ func buildRotord(t *testing.T) string {
 // the "listening on" line the server prints for exactly this purpose.
 func startRotord(t *testing.T, bin, spool string, workers int) (*exec.Cmd, string) {
 	t.Helper()
-	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-spool", spool, "-workers", fmt.Sprint(workers))
+	return startRotordArgs(t, bin, "-addr", "127.0.0.1:0", "-spool", spool, "-workers", fmt.Sprint(workers))
+}
+
+// startRotordArgs launches the binary with explicit flags (both roles
+// announce "rotord: listening on <addr> (...)" on stdout).
+func startRotordArgs(t *testing.T, bin string, args ...string) (*exec.Cmd, string) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
 	cmd.Stderr = os.Stderr
 	stdout, err := cmd.StdoutPipe()
 	if err != nil {
@@ -257,5 +264,133 @@ func TestChaosCancelKillSmoke(t *testing.T) {
 	got := getBody(t, base2, "/v1/sweeps/"+id+"/rows")
 	if !bytes.Equal(got, want) {
 		t.Errorf("post-kill-during-cancel stream is not byte-identical to library output (%d vs %d bytes)", len(got), len(want))
+	}
+}
+
+// metricValue fetches /metrics and returns the value of the first series
+// whose line starts with prefix, or -1 when the series is absent.
+func metricValue(t *testing.T, base, prefix string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(string(getBody(t, base, "/metrics")), "\n") {
+		if !strings.HasPrefix(line, prefix) {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			continue
+		}
+		var v float64
+		if _, err := fmt.Sscanf(fields[len(fields)-1], "%g", &v); err == nil {
+			return v
+		}
+	}
+	return -1
+}
+
+// waitUntil polls cond until it holds or the deadline passes.
+func waitUntil(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestClusterSmoke is the cluster half of the end-to-end smoke (make
+// cluster-smoke): one real coordinator binary plus two real worker
+// binaries run a sweep; one worker is SIGKILLed while it holds a lease,
+// forcing the coordinator to reassign its unfinished jobs; the finished
+// stream must still be byte-identical to library-mode output.
+func TestClusterSmoke(t *testing.T) {
+	spec := engine.SweepSpec{
+		Topologies: []engine.Topo{"ring", "grid:32x32"},
+		Sizes:      []int{1024},
+		Agents:     []int{2},
+		Replicas:   40,
+		Seed:       7,
+	}
+	var lib bytes.Buffer
+	if _, err := engine.New(engine.Workers(4)).Run(spec, engine.NewJSONLSink(&lib)); err != nil {
+		t.Fatalf("library run: %v", err)
+	}
+	want := lib.Bytes()
+	jobs := len(bytes.Split(bytes.TrimSuffix(want, []byte("\n")), []byte("\n")))
+	wire, err := engine.EncodeWireSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	bin := buildRotord(t)
+	spool := t.TempDir()
+	// A short lease TTL so the killed worker's lease reassigns quickly.
+	_, base := startRotordArgs(t, bin,
+		"-addr", "127.0.0.1:0", "-spool", spool, "-workers", "1", "-lease-ttl", "1s")
+	w1, w1Base := startRotordArgs(t, bin,
+		"-mode", "worker", "-join", base, "-name", "w1", "-workers", "2", "-addr", "127.0.0.1:0")
+	startRotordArgs(t, bin,
+		"-mode", "worker", "-join", base, "-name", "w2", "-workers", "2", "-addr", "127.0.0.1:0")
+
+	// The fleet forms before submission, so every chunk dispatches remote.
+	waitUntil(t, 15*time.Second, "2 workers registered", func() bool {
+		var health struct {
+			Workers int `json:"workers"`
+		}
+		if err := json.Unmarshal(getBody(t, base, "/healthz"), &health); err != nil {
+			t.Fatalf("decode healthz: %v", err)
+		}
+		return health.Workers >= 2
+	})
+
+	// The two roles are distinguishable from their probes.
+	var wh struct {
+		Role string `json:"role"`
+		Name string `json:"name"`
+	}
+	if err := json.Unmarshal(getBody(t, w1Base, "/healthz"), &wh); err != nil {
+		t.Fatalf("decode worker healthz: %v", err)
+	}
+	if wh.Role != "worker" || wh.Name != "w1" {
+		t.Errorf("worker healthz = %+v", wh)
+	}
+
+	resp, err := http.Post(base+"/v1/sweeps", "application/json", bytes.NewReader(wire))
+	if err != nil {
+		t.Fatalf("POST /v1/sweeps: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("POST /v1/sweeps: status %d: %s", resp.StatusCode, body)
+	}
+	id := resp.Header.Get("Location")[len("/v1/sweeps/"):]
+
+	// SIGKILL w1 the moment it holds a lease: its unfinished jobs must be
+	// reassigned, not lost.
+	waitUntil(t, 60*time.Second, "w1 to hold a lease", func() bool {
+		return metricValue(t, base, `rotord_cluster_worker_active_leases{worker="w1"`) >= 1
+	})
+	if err := w1.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	w1.Wait()
+	t.Log("killed w1 while it held a lease")
+
+	waitUntil(t, 120*time.Second, "sweep completion after worker kill", func() bool {
+		return completedRows(t, base, id) == jobs
+	})
+	got := getBody(t, base, "/v1/sweeps/"+id+"/rows")
+	if !bytes.Equal(got, want) {
+		t.Errorf("cluster stream is not byte-identical to library output (%d vs %d bytes)", len(got), len(want))
+	}
+
+	if v := metricValue(t, base, "rotord_cluster_leases_reassigned_total"); v < 1 {
+		t.Errorf("rotord_cluster_leases_reassigned_total = %g, want >= 1", v)
+	}
+	if v := metricValue(t, base, "rotord_cluster_rows_remote_total"); v < 1 {
+		t.Errorf("rotord_cluster_rows_remote_total = %g, want >= 1", v)
 	}
 }

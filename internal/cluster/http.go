@@ -1,0 +1,111 @@
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// Handler returns the coordinator's wire-protocol endpoints. The sweep
+// service mounts it under its /v1 API, so workers join through the same
+// listener clients use.
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/cluster/register", c.handleRegister)
+	mux.HandleFunc("POST /v1/cluster/heartbeat", c.handleHeartbeat)
+	mux.HandleFunc("POST /v1/cluster/lease", c.handleLease)
+	mux.HandleFunc("POST /v1/cluster/complete", c.handleComplete)
+	mux.HandleFunc("GET /v1/cluster/workers", c.handleWorkers)
+	return mux
+}
+
+func clusterError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func clusterJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		clusterError(w, http.StatusBadRequest, "decode request: %v", err)
+		return false
+	}
+	return true
+}
+
+func (c *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req RegisterRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	clusterJSON(w, http.StatusOK, c.register(req))
+}
+
+func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req HeartbeatRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if !c.heartbeat(req.WorkerID) {
+		clusterError(w, http.StatusNotFound, "unknown worker %q (re-register)", req.WorkerID)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
+	var req LeaseRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	resp, err := c.grant(req.WorkerID, time.Duration(req.WaitMillis)*time.Millisecond)
+	var unknown errUnknownWorker
+	if errors.As(err, &unknown) {
+		clusterError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	if err != nil {
+		clusterError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	if resp == nil {
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	clusterJSON(w, http.StatusOK, resp)
+}
+
+func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
+	var req CompleteRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	resp, err := c.complete(req)
+	var unknown errUnknownWorker
+	if errors.As(err, &unknown) {
+		clusterError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	if err != nil {
+		clusterError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	clusterJSON(w, http.StatusOK, resp)
+}
+
+func (c *Coordinator) handleWorkers(w http.ResponseWriter, r *http.Request) {
+	snap := c.Snapshot()
+	workers := snap.PerWorker
+	if workers == nil {
+		workers = []WorkerStatus{}
+	}
+	clusterJSON(w, http.StatusOK, WorkersResponse{Workers: workers})
+}

@@ -140,8 +140,10 @@ func chaosSpec() engine.SweepSpec {
 	}
 }
 
-// slowSpec runs long enough at one worker to cancel or kill mid-sweep,
-// with steady per-job progress (mirrors TestKillAndResume's sizing).
+// slowSpec is a one-cell, many-replica sweep with steady per-job progress.
+// Tests that must land an action mid-sweep deterministically switch it to
+// the gated "creep" process (service_test.go) — raw job cost alone cannot
+// outrun a fast machine.
 func slowSpec() engine.SweepSpec {
 	return engine.SweepSpec{
 		Topologies: []engine.Topo{"ring"},
@@ -272,10 +274,16 @@ func TestChaosPanicIsolation(t *testing.T) {
 // row requests answer 410, and re-submitting the same spec starts it over
 // to full byte identity.
 func TestChaosCancelMidSweep(t *testing.T) {
+	// The creep gate pins the cancel mid-sweep: three jobs complete (the
+	// stream has bytes to hand the client), the fourth blocks until the
+	// gate is released for the post-cancel recompute.
 	spec := slowSpec()
-	want := libraryJSONL(t, spec)
+	spec.Process = "creep"
+	want := libraryJSONL(t, spec) // gate disarmed: runs straight through
 	spool := t.TempDir()
 	ts := startChaosServer(t, spool, Workers(1))
+	armCreepGate(3)
+	defer releaseCreepGate()
 	st := ts.submit(t, wireSpec(t, spec))
 
 	// A client streaming during the cancel must see its stream end.
@@ -331,6 +339,9 @@ func TestChaosCancelMidSweep(t *testing.T) {
 	}
 
 	// Resubmission starts over (created=true) and reaches byte identity.
+	// Release the gate first: the recompute (and the abandoned in-flight
+	// job, whose late delivery is dropped) must run free.
+	releaseCreepGate()
 	resub := ts.submit(t, wireSpec(t, spec))
 	if resub.ID != st.ID {
 		t.Fatalf("resubmitted spec got id %s, want %s", resub.ID, st.ID)
@@ -512,7 +523,13 @@ func TestChaosAdmission(t *testing.T) {
 
 	t.Run("max-active", func(t *testing.T) {
 		ts := startChaosServer(t, t.TempDir(), Workers(1), MaxActiveSweeps(1))
-		slow := ts.submit(t, wireSpec(t, slowSpec()))
+		// Gate every job of the busy sweep: it provably stays active while
+		// admission is probed, however fast the machine.
+		armCreepGate(0)
+		defer releaseCreepGate()
+		busy := slowSpec()
+		busy.Process = "creep"
+		slow := ts.submit(t, wireSpec(t, busy))
 		other := engine.SweepSpec{
 			Topologies: []engine.Topo{"ring"}, Sizes: []int{32}, Agents: []int{2}, Replicas: 2, Seed: 5,
 		}
@@ -524,7 +541,7 @@ func TestChaosAdmission(t *testing.T) {
 			t.Error("429 without a Retry-After header")
 		}
 		// Idempotent resubmission of the running sweep still answers 200.
-		resp, _ = post(ts, wireSpec(t, slowSpec()))
+		resp, _ = post(ts, wireSpec(t, busy))
 		if resp.StatusCode != http.StatusOK {
 			t.Errorf("idempotent resubmit under load: status %d, want 200", resp.StatusCode)
 		}
@@ -630,6 +647,10 @@ func TestChaosDrainDeadline(t *testing.T) {
 	case <-time.After(30 * time.Second):
 		t.Fatal("Close hung past the drain deadline on a stalled job")
 	}
-	close(stallRelease) // free the abandoned worker; its delivery is dropped
+	select { // free the abandoned worker; its delivery is dropped
+	case <-stallRelease: // already released by an earlier -count run
+	default:
+		close(stallRelease)
+	}
 	time.Sleep(10 * time.Millisecond)
 }

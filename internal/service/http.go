@@ -10,13 +10,15 @@ import (
 	"strings"
 
 	"rotorring/internal/engine"
+	"rotorring/internal/version"
 	"rotorring/probe"
 )
 
 // Handler returns the service's HTTP API:
 //
 //	POST   /v1/sweeps            submit a wire-format SweepSpec, get a sweep id
-//	GET    /v1/sweeps            list known sweeps
+//	GET    /v1/sweeps            list known sweeps with status + watermark
+//	                             (?state=running|done|failed|canceled filters)
 //	GET    /v1/sweeps/{id}       status: jobs, completed watermark, cache hits
 //	GET    /v1/sweeps/{id}/rows  stream rows in canonical order (JSONL;
 //	                             ?from=N resumes at row N, ?format= selects a
@@ -25,7 +27,14 @@ import (
 //	                             end, the spool directory is removed
 //	GET    /v1/registries        registered process/metric/topology/schedule/
 //	                             sink/probe names for client introspection
-//	GET    /healthz              liveness: 200 while the process serves
+//	POST   /v1/cluster/*         the worker wire protocol: register,
+//	                             heartbeat, lease, complete (internal/cluster)
+//	GET    /v1/cluster/workers   registered workers with lease stats
+//	GET    /metrics              Prometheus text format: sweeps, pool/lease
+//	                             depth, cache hit rate, rows/sec, per-worker
+//	                             lease stats
+//	GET    /healthz              liveness: 200 while the process serves;
+//	                             reports role, version, registered workers
 //	GET    /readyz               readiness: 200 once recovery finished and
 //	                             the pool is live; includes quarantined ids
 func (s *Server) Handler() http.Handler {
@@ -36,6 +45,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/sweeps/{id}/rows", s.handleRows)
 	mux.HandleFunc("DELETE /v1/sweeps/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/registries", s.handleRegistries)
+	mux.Handle("/v1/cluster/", s.cluster.Handler())
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	return mux
@@ -143,11 +154,22 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	filter := strings.ToLower(r.URL.Query().Get("state"))
+	switch filter {
+	case "", "running", "done", "failed", "canceled":
+	default:
+		httpError(w, http.StatusBadRequest, "bad state filter %q (running|done|failed|canceled)", filter)
+		return
+	}
 	ids := s.SweepIDs()
 	out := make([]sweepStatus, 0, len(ids))
 	for _, id := range ids {
 		if sw, ok := s.Sweep(id); ok {
-			out = append(out, s.status(sw))
+			st := s.status(sw)
+			if filter != "" && st.State != filter {
+				continue
+			}
+			out = append(out, st)
 		}
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"sweeps": out})
@@ -176,7 +198,14 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":  "ok",
+		"role":    "coordinator",
+		"version": version.Version,
+		// workers is the registered cluster worker count, so smoke tests
+		// and operators can watch the fleet form before submitting.
+		"workers": s.cluster.LiveWorkers(),
+	})
 }
 
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,170 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rotorring/internal/version"
+)
+
+// serverStats aggregates the coordinator-role counters /metrics reports.
+// Everything here is observability only: no counter feeds back into
+// scheduling, so the metrics surface can never perturb result bytes.
+type serverStats struct {
+	start time.Time
+
+	rowsCommitted atomic.Int64 // rows appended to any sweep's spool
+	localJobs     atomic.Int64 // jobs executed on the local pool
+	cacheHits     atomic.Int64 // jobs served from the row cache
+	cacheMisses   atomic.Int64 // jobs that had to be computed
+
+	// rate window: the previous /metrics scrape's (time, rows) snapshot,
+	// so rows/sec is measured over the scrape interval rather than over
+	// all of uptime.
+	rateMu   sync.Mutex
+	lastTime time.Time
+	lastRows int64
+}
+
+// rowsPerSecond returns the commit rate since the previous call (the
+// previous scrape), falling back to the uptime average on the first one.
+func (st *serverStats) rowsPerSecond(now time.Time) float64 {
+	total := st.rowsCommitted.Load()
+	st.rateMu.Lock()
+	defer st.rateMu.Unlock()
+	since, base := st.start, int64(0)
+	if !st.lastTime.IsZero() {
+		since, base = st.lastTime, st.lastRows
+	}
+	st.lastTime, st.lastRows = now, total
+	dt := now.Sub(since).Seconds()
+	if dt <= 0 {
+		return 0
+	}
+	return float64(total-base) / dt
+}
+
+// promEscape escapes a Prometheus label value.
+func promEscape(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+// handleMetrics serves the coordinator role's Prometheus text-format
+// metrics: sweep states, pool and lease depth, cache hit rate, row
+// throughput, and per-worker lease stats from the cluster registry.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	now := time.Now()
+
+	// Sweep states, snapshotted without holding s.mu across sweep locks.
+	states := make(map[string]int, 4)
+	for _, id := range s.SweepIDs() {
+		if sw, ok := s.Sweep(id); ok {
+			states[sw.state()]++
+		}
+	}
+
+	var b strings.Builder
+	emit := func(typ, name, help string, write func()) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+		write()
+	}
+
+	emit("gauge", "rotord_info", "Build and role identity (always 1).", func() {
+		fmt.Fprintf(&b, "rotord_info{role=\"coordinator\",version=%q} 1\n", version.Version)
+	})
+	emit("gauge", "rotord_uptime_seconds", "Seconds since this server opened its spool.", func() {
+		fmt.Fprintf(&b, "rotord_uptime_seconds %.3f\n", now.Sub(s.stats.start).Seconds())
+	})
+	emit("gauge", "rotord_pool_workers", "Local worker pool size.", func() {
+		fmt.Fprintf(&b, "rotord_pool_workers %d\n", s.NumWorkers())
+	})
+	emit("gauge", "rotord_sweeps", "Registered sweeps by state.", func() {
+		for _, state := range []string{"running", "done", "failed", "canceled"} {
+			fmt.Fprintf(&b, "rotord_sweeps{state=%q} %d\n", state, states[state])
+		}
+	})
+	emit("counter", "rotord_rows_committed_total", "Rows appended to sweep spools this server run.", func() {
+		fmt.Fprintf(&b, "rotord_rows_committed_total %d\n", s.stats.rowsCommitted.Load())
+	})
+	emit("gauge", "rotord_rows_per_second", "Row commit rate since the previous scrape.", func() {
+		fmt.Fprintf(&b, "rotord_rows_per_second %.3f\n", s.stats.rowsPerSecond(now))
+	})
+	emit("counter", "rotord_jobs_local_total", "Jobs executed on the local pool this server run.", func() {
+		fmt.Fprintf(&b, "rotord_jobs_local_total %d\n", s.stats.localJobs.Load())
+	})
+	hits, misses := s.stats.cacheHits.Load(), s.stats.cacheMisses.Load()
+	emit("counter", "rotord_cache_hits_total", "Jobs served from the content-addressed row cache.", func() {
+		fmt.Fprintf(&b, "rotord_cache_hits_total %d\n", hits)
+	})
+	emit("counter", "rotord_cache_misses_total", "Jobs that had to be computed.", func() {
+		fmt.Fprintf(&b, "rotord_cache_misses_total %d\n", misses)
+	})
+	emit("gauge", "rotord_cache_hit_ratio", "Cache hits over scheduled jobs (0 when none scheduled).", func() {
+		ratio := 0.0
+		if hits+misses > 0 {
+			ratio = float64(hits) / float64(hits+misses)
+		}
+		fmt.Fprintf(&b, "rotord_cache_hit_ratio %.4f\n", ratio)
+	})
+
+	snap := s.cluster.Snapshot()
+	emit("gauge", "rotord_cluster_workers", "Registered (live) cluster workers.", func() {
+		fmt.Fprintf(&b, "rotord_cluster_workers %d\n", snap.Workers)
+	})
+	emit("gauge", "rotord_cluster_pending_chunks", "Chunks queued for remote execution.", func() {
+		fmt.Fprintf(&b, "rotord_cluster_pending_chunks %d\n", snap.PendingChunks)
+	})
+	emit("gauge", "rotord_cluster_pending_jobs", "Jobs inside queued chunks.", func() {
+		fmt.Fprintf(&b, "rotord_cluster_pending_jobs %d\n", snap.PendingJobs)
+	})
+	emit("gauge", "rotord_cluster_leases_active", "Leases currently held by workers.", func() {
+		fmt.Fprintf(&b, "rotord_cluster_leases_active %d\n", snap.ActiveLeases)
+	})
+	emit("counter", "rotord_cluster_leases_granted_total", "Leases granted this server run.", func() {
+		fmt.Fprintf(&b, "rotord_cluster_leases_granted_total %d\n", snap.LeasesGranted)
+	})
+	emit("counter", "rotord_cluster_leases_expired_total", "Leases that blew their deadline.", func() {
+		fmt.Fprintf(&b, "rotord_cluster_leases_expired_total %d\n", snap.LeasesExpired)
+	})
+	emit("counter", "rotord_cluster_leases_reassigned_total", "Lease reassignments (deadline, worker death, rejected rows).", func() {
+		fmt.Fprintf(&b, "rotord_cluster_leases_reassigned_total %d\n", snap.LeasesReassigned)
+	})
+	emit("counter", "rotord_cluster_workers_expired_total", "Workers dropped for silence or blown leases.", func() {
+		fmt.Fprintf(&b, "rotord_cluster_workers_expired_total %d\n", snap.WorkersExpired)
+	})
+	emit("counter", "rotord_cluster_rows_remote_total", "Rows committed from cluster workers.", func() {
+		fmt.Fprintf(&b, "rotord_cluster_rows_remote_total %d\n", snap.RemoteRows)
+	})
+	emit("counter", "rotord_cluster_rows_late_total", "Rows accepted after their lease was already reassigned (harmless duplicates).", func() {
+		fmt.Fprintf(&b, "rotord_cluster_rows_late_total %d\n", snap.LateRows)
+	})
+	if len(snap.PerWorker) > 0 {
+		emit("gauge", "rotord_cluster_worker_active_leases", "Active leases per worker.", func() {
+			for _, ws := range snap.PerWorker {
+				fmt.Fprintf(&b, "rotord_cluster_worker_active_leases{worker=%q,id=%q} %d\n",
+					promEscape(ws.Name), promEscape(ws.ID), ws.ActiveLeases)
+			}
+		})
+		emit("counter", "rotord_cluster_worker_leases_total", "Leases granted per worker.", func() {
+			for _, ws := range snap.PerWorker {
+				fmt.Fprintf(&b, "rotord_cluster_worker_leases_total{worker=%q,id=%q} %d\n",
+					promEscape(ws.Name), promEscape(ws.ID), ws.LeasesTotal)
+			}
+		})
+		emit("counter", "rotord_cluster_worker_rows_total", "Rows committed per worker.", func() {
+			for _, ws := range snap.PerWorker {
+				fmt.Fprintf(&b, "rotord_cluster_worker_rows_total{worker=%q,id=%q} %d\n",
+					promEscape(ws.Name), promEscape(ws.ID), ws.RowsTotal)
+			}
+		})
+	}
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	io.WriteString(w, b.String())
+}

@@ -59,6 +59,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"rotorring/internal/cluster"
 	"rotorring/internal/engine"
 )
 
@@ -115,14 +116,21 @@ type spoolError struct{ err error }
 func (e *spoolError) Error() string { return "service: spool: " + e.err.Error() }
 func (e *spoolError) Unwrap() error { return e.err }
 
-// Server is a rotord instance: a spool directory, a row cache, and a
-// bounded worker pool shared by all in-flight sweeps.
+// Server is a rotord coordinator instance: a spool directory, a row
+// cache, a bounded local worker pool shared by all in-flight sweeps, and
+// the cluster coordinator that shards job chunks across registered worker
+// nodes (internal/cluster). With zero workers registered the cluster path
+// is never taken, so a single-node server behaves exactly as before.
 type Server struct {
 	spool   string
 	workers int
 	fs      spoolFS
 	cache   *rowCache
 	drain   time.Duration
+
+	cluster  *cluster.Coordinator
+	leaseTTL time.Duration
+	stats    serverStats
 
 	maxBody   int64
 	maxJobs   int
@@ -181,6 +189,15 @@ func DrainTimeout(d time.Duration) Option {
 	return func(s *Server) { s.drain = d }
 }
 
+// LeaseTTL sets the cluster lease deadline and worker-liveness window: a
+// worker silent (or sitting on a lease) for longer has its jobs
+// reassigned. Like every scheduling knob it can never affect result
+// bytes, only who computes them when. d <= 0 keeps the default
+// (cluster.DefaultTTL).
+func LeaseTTL(d time.Duration) Option {
+	return func(s *Server) { s.leaseTTL = d }
+}
+
 // withFS swaps the spool storage implementation; the chaos suite uses it
 // to inject deterministic disk faults.
 func withFS(fs spoolFS) Option {
@@ -214,6 +231,7 @@ func Open(spool string, opts ...Option) (*Server, error) {
 	if s.maxBody <= 0 {
 		s.maxBody = defaultMaxBodyBytes
 	}
+	s.stats.start = time.Now()
 	cache, err := newRowCache(filepath.Join(spool, "cache"), s.fs)
 	if err != nil {
 		return nil, err
@@ -222,6 +240,19 @@ func Open(spool string, opts ...Option) (*Server, error) {
 	if err := s.fs.MkdirAll(s.sweepsDir()); err != nil {
 		return nil, fmt.Errorf("service: spool: %w", err)
 	}
+	// The cluster coordinator exists on every server — a worker-less
+	// cluster dispatches nothing, so plain single-node deployments pay one
+	// idle expiry ticker and nothing else. It must be live before recovery:
+	// recovered sweeps start feeding (and therefore dispatching) immediately.
+	s.cluster = cluster.NewCoordinator(cluster.Config{
+		TTL:      s.leaseTTL,
+		Commit:   s.commitRemote,
+		Fail:     s.failRemote,
+		Runnable: s.sweepRunnable,
+		SpecOf:   s.sweepSpec,
+		Fallback: s.runLocal,
+		Logf:     log.Printf,
+	})
 	for i := 0; i < s.workers; i++ {
 		s.workerWG.Add(1)
 		go s.workerLoop()
@@ -258,6 +289,7 @@ func (s *Server) Quarantined() []string {
 func (s *Server) Close() {
 	s.closeOnce.Do(func() {
 		s.ready.Store(false)
+		s.cluster.Close()
 		close(s.stop)
 		s.feederWG.Wait()
 		close(s.queue)
@@ -389,6 +421,7 @@ func (s *Server) Submit(wire []byte) (sw *sweepJob, created bool, err error) {
 		fs:      s.fs,
 		pending: make(map[int][]byte),
 		notify:  make(chan struct{}),
+		stats:   &s.stats,
 	}
 	if err := s.fs.MkdirAll(sw.dir); err != nil {
 		return nil, false, &spoolError{err}
@@ -541,6 +574,7 @@ func (s *Server) loadSweep(id, dir string) (*sweepJob, error) {
 		fs:      s.fs,
 		pending: make(map[int][]byte),
 		notify:  make(chan struct{}),
+		stats:   &s.stats,
 	}
 	watermark, err := sw.openRows()
 	if err != nil {
@@ -619,10 +653,17 @@ func (s *Server) feed(sw *sweepJob) {
 		if len(chunk) == 0 {
 			return true
 		}
-		t := task{sw: sw, jobs: chunk}
+		jobs := chunk
 		chunk = nil
+		// The scheduler seam: chunks go to registered cluster workers when
+		// any are live, and to the local pool otherwise. Which side runs a
+		// chunk can never affect its bytes — job seeds and rows are pure
+		// functions of the spec — so this is a latency decision only.
+		if s.cluster.Dispatch(sw.id, jobs) {
+			return true
+		}
 		select {
-		case s.queue <- t:
+		case s.queue <- task{sw: sw, jobs: jobs}:
 			return true
 		case <-s.stop:
 			return false
@@ -646,6 +687,7 @@ func (s *Server) feed(sw *sweepJob) {
 				if !flush() { // keep delivery order cache-friendly
 					return
 				}
+				s.stats.cacheHits.Add(1)
 				sw.deliver(job, b, true)
 				continue
 			}
@@ -653,6 +695,7 @@ func (s *Server) feed(sw *sweepJob) {
 			// delete it so the recomputed row replaces it for good.
 			s.cache.remove(key)
 		}
+		s.stats.cacheMisses.Add(1)
 		chunk = append(chunk, job)
 		if len(chunk) >= chunkSize {
 			if !flush() {
@@ -707,6 +750,7 @@ func (s *Server) runJob(sw *sweepJob, runner *engine.JobRunner, job int) (ok boo
 			ok = false
 		}
 	}()
+	s.stats.localJobs.Add(1)
 	row := runner.Run(job)
 	b, err := engine.RowBytes(row)
 	if err != nil {
@@ -742,4 +786,88 @@ func reindexRow(stored []byte, exp *engine.ExpandedSweep, job int) ([]byte, erro
 	cell, _ := exp.Job(job)
 	row.Index = cell.Index
 	return engine.RowBytes(row)
+}
+
+// The four methods below are the cluster coordinator's view of the sweep
+// service (cluster.Config callbacks). They must not call back into
+// s.cluster — the coordinator may hold its own lock when invoking them.
+
+// commitRemote lands one worker-computed job: the index-free bytes go to
+// the content-addressed cache (exactly what a local computation would
+// store) and, re-indexed under this grid, to the sweep's re-sequencer.
+// deliver deduplicates by job index, so a reassigned-then-completed-twice
+// job commits identical bytes twice and persists once. An error means the
+// bytes do not decode as a canonical row — the coordinator reassigns the
+// job rather than trusting them.
+func (s *Server) commitRemote(sweepID string, job int, indexFree []byte) error {
+	sw, ok := s.Sweep(sweepID)
+	if !ok {
+		return nil // sweep is gone (canceled and forgotten); drop silently
+	}
+	if job < 0 || job >= sw.exp.NumJobs() {
+		return fmt.Errorf("service: remote job %d out of range (grid has %d)", job, sw.exp.NumJobs())
+	}
+	b, err := reindexRow(indexFree, sw.exp, job)
+	if err != nil {
+		return fmt.Errorf("service: remote row for job %d: %w", job, err)
+	}
+	if err := s.cache.store(sw.exp.JobKey(job), indexFree); err != nil {
+		sw.noteCacheWriteErr(err)
+	}
+	sw.deliver(job, b, false)
+	return nil
+}
+
+// failRemote converts a worker-side job panic into the same per-sweep
+// failure a local panic produces: cause and content-address key in the
+// status, watermark untouched, other sweeps unaffected.
+func (s *Server) failRemote(sweepID string, job int, cause string) {
+	sw, ok := s.Sweep(sweepID)
+	if !ok {
+		return
+	}
+	key := ""
+	if job >= 0 && job < sw.exp.NumJobs() {
+		key = sw.exp.JobKey(job)
+	}
+	sw.fail(fmt.Sprintf("worker panic in job %d: %s", job, cause), key)
+}
+
+// sweepRunnable reports whether a sweep still wants jobs executed.
+func (s *Server) sweepRunnable(sweepID string) bool {
+	sw, ok := s.Sweep(sweepID)
+	return ok && sw.runnable()
+}
+
+// sweepSpec returns the canonical wire spec bytes leases embed.
+func (s *Server) sweepSpec(sweepID string) ([]byte, bool) {
+	sw, ok := s.Sweep(sweepID)
+	if !ok {
+		return nil, false
+	}
+	return sw.wire, true
+}
+
+// runLocal is the cluster's fallback: when the last live worker
+// disappears with chunks still queued, they drain onto the local pool so
+// the sweep finishes regardless of what happened to the fleet. The hand-
+// off happens on its own goroutine because the local queue is unbuffered
+// and this is called from the coordinator's expiry loop.
+func (s *Server) runLocal(sweepID string, jobs []int) {
+	sw, ok := s.Sweep(sweepID)
+	if !ok {
+		return
+	}
+	// Tracked on feederWG so Close cannot close the queue under a pending
+	// hand-off: cluster.Close (which joins the expiry loop, the only
+	// caller) returns before Close waits on feederWG, so the Add below
+	// never races the Wait.
+	s.feederWG.Add(1)
+	go func() {
+		defer s.feederWG.Done()
+		select {
+		case s.queue <- task{sw: sw, jobs: jobs}:
+		case <-s.stop:
+		}
+	}()
 }

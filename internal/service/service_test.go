@@ -10,6 +10,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -211,6 +212,74 @@ func TestIdempotentSubmit(t *testing.T) {
 	}
 }
 
+// creepProc computes its row instantly, but while the gate is armed every
+// job past the allowance blocks until the gate is released. TestKillAndResume
+// uses it to land a server shutdown deterministically mid-sweep no matter how
+// fast the machine is: at most `allow` jobs can complete before the kill.
+// Rows are a pure function of the job (cover = ring size), so library mode,
+// the killed run and the resumed run all agree byte-for-byte.
+var creepGate struct {
+	mu      sync.Mutex
+	armed   bool
+	allowed int
+	release chan struct{}
+}
+
+func init() {
+	engine.RegisterProcess(&engine.ProcessDef{Name: "creep", New: newCreep})
+}
+
+func armCreepGate(allow int) {
+	creepGate.mu.Lock()
+	defer creepGate.mu.Unlock()
+	creepGate.armed = true
+	creepGate.allowed = allow
+	creepGate.release = make(chan struct{})
+}
+
+func releaseCreepGate() {
+	creepGate.mu.Lock()
+	defer creepGate.mu.Unlock()
+	if creepGate.armed {
+		creepGate.armed = false
+		close(creepGate.release)
+	}
+}
+
+type creepProc struct {
+	n       int
+	covered bool
+}
+
+func newCreep(env *engine.JobEnv) (engine.Proc, error) {
+	return &creepProc{n: env.Graph.NumNodes()}, nil
+}
+
+func (p *creepProc) Step()        {}
+func (p *creepProc) Round() int64 { return 0 }
+func (p *creepProc) Reset()       { p.covered = false }
+func (p *creepProc) Covered() int {
+	if p.covered {
+		return p.n
+	}
+	return 1
+}
+
+func (p *creepProc) RunUntilCovered(maxRounds int64) (int64, error) {
+	creepGate.mu.Lock()
+	blocked := creepGate.armed && creepGate.allowed == 0
+	if creepGate.armed && creepGate.allowed > 0 {
+		creepGate.allowed--
+	}
+	release := creepGate.release
+	creepGate.mu.Unlock()
+	if blocked {
+		<-release
+	}
+	p.covered = true
+	return int64(p.n), nil
+}
+
 // killServer shuts a server down mid-sweep and returns the watermark it
 // left on disk.
 func killServer(t *testing.T, ts *testServer, id string) int {
@@ -249,24 +318,44 @@ func mustSweep(t *testing.T, srv *Server, id string) *sweepJob {
 // exact remaining bytes: the full stream equals library-mode output, with
 // no duplicated and no recomputed-differently rows.
 func TestKillAndResume(t *testing.T) {
-	// > 2 chunks of jobs at 1 worker, each costly enough (rotor cover on a
-	// 1024-ring is ~n^2/log k rounds) that the close lands mid-sweep.
+	// The creep gate makes the kill timing-independent: at most 5 of the 80
+	// jobs can complete before the shutdown, however fast the hardware, so
+	// the close always lands mid-sweep. The kill server gets a ~zero drain
+	// deadline so Close abandons the gate-blocked job instead of waiting
+	// out the default 30s — the closest a graceful Close comes to the
+	// SIGKILL this test models (the real-SIGKILL variant is cmd/rotord's
+	// TestServiceSmoke).
 	spec := engine.SweepSpec{
 		Topologies: []engine.Topo{"ring"},
-		Sizes:      []int{1024},
+		Sizes:      []int{64},
 		Agents:     []int{2},
+		Process:    "creep",
 		Replicas:   80,
 		Seed:       7,
 	}
-	want := libraryJSONL(t, spec)
+	want := libraryJSONL(t, spec) // gate disarmed: runs straight through
 	spool := t.TempDir()
 
-	ts := startServer(t, spool, 1)
+	armCreepGate(5)
+	defer releaseCreepGate()
+	srv, err := Open(spool, Workers(1), DrainTimeout(time.Millisecond))
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	hts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() { hts.Close(); srv.Close() })
+	ts := &testServer{srv: srv, http: hts}
 	st := ts.submit(t, wireSpec(t, spec))
 	watermark := killServer(t, ts, st.ID)
 	if watermark == 0 || watermark >= st.Jobs {
 		t.Fatalf("kill watermark %d of %d jobs: not mid-sweep", watermark, st.Jobs)
 	}
+
+	// Free the abandoned worker (its late delivery is dropped — the row
+	// handles closed with the server) and give it a beat to exit before the
+	// cache wipe below, so it cannot repopulate the cache behind our back.
+	releaseCreepGate()
+	time.Sleep(10 * time.Millisecond)
 
 	// Wipe the cache: the resumed rows must be recomputed, proving resume
 	// correctness does not lean on the cache.

@@ -51,6 +51,7 @@ type sweepJob struct {
 	canceled       bool           // DELETE'd: spool removed, tombstone only
 	notify         chan struct{}  // closed and replaced on every state change
 	rows           spoolFile      // append handle, nil once done/failed/canceled
+	stats          *serverStats   // server-level counters (nil-safe: tests may omit)
 }
 
 func (sw *sweepJob) rowsPath() string { return filepath.Join(sw.dir, "rows.jsonl") }
@@ -165,6 +166,7 @@ func (sw *sweepJob) deliver(job int, rowBytes []byte, cacheHit bool) {
 		sw.cacheHits++
 	}
 	sw.pending[job] = rowBytes
+	appended := int64(0)
 	for {
 		b, ok := sw.pending[sw.completed]
 		if !ok {
@@ -176,6 +178,10 @@ func (sw *sweepJob) deliver(job int, rowBytes []byte, cacheHit bool) {
 		}
 		delete(sw.pending, sw.completed)
 		sw.completed++
+		appended++
+	}
+	if sw.stats != nil && appended > 0 {
+		sw.stats.rowsCommitted.Add(appended)
 	}
 	if sw.completed == sw.exp.NumJobs() || sw.failed != "" {
 		if sw.rows != nil {

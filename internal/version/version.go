@@ -1,0 +1,10 @@
+// Package version carries the build identity rotord surfaces in /healthz
+// and /metrics, so operators (and the cluster smoke tests) can tell which
+// build each role is running.
+package version
+
+// Version identifies this build. The default marks a source build;
+// release pipelines override it with
+//
+//	go build -ldflags "-X rotorring/internal/version.Version=v1.2.3"
+var Version = "0.8.0-dev"
