@@ -3,9 +3,10 @@
 // takes a value accepts a comma-separated list, turning a single run into a
 // grid sweep; a single configuration is just a 1-cell sweep.
 //
-// The process, the metric and the perturbation schedule are selected by
-// name from the engine's registries (-process rotor|walk..., -metric
-// cover|return|restab_time..., -schedule none|delay:...|edgefail:...), so
+// The process, the metric, the perturbation schedule and the mission are
+// selected by name from the engine's registries (-process rotor|walk...,
+// -metric cover|return|restab_time..., -schedule
+// none|delay:...|edgefail:..., -mission none|explore|patrol:...), so
 // processes, metrics and scenario families registered by other packages
 // are reachable without command changes; -walk and -return remain as
 // deprecated aliases. The -probes flag attaches registered stride-sampled
@@ -24,6 +25,7 @@
 //	rotorsim -n 1024 -k 8 -probes coverage:256,histogram:1024 -format jsonl
 //	rotorsim -n 1024 -k 8 -schedule "none,delay:p=0.25,edgefail:t=4096,count=2" -format jsonl
 //	rotorsim -n 128 -k 4 -place random -pointers random -schedule "edgefail:t=131072" -metric restab_time
+//	rotorsim -n 256 -k 8 -mission "explore,patrol:horizon=4096" -format jsonl
 package main
 
 import (
@@ -84,6 +86,7 @@ func run(args []string, out io.Writer) error {
 	metric := fs.String("metric", "", "metric to measure: "+strings.Join(engine.MetricNames(), "|")+" (default cover)")
 	probes := fs.String("probes", "", "stride-sampled probes as name:stride pairs, e.g. coverage:256,histogram:1024 (names: "+strings.Join(probe.Names(), "|")+"); series appear in jsonl rows")
 	schedule := fs.String("schedule", "none", "comma-separated perturbation schedules, e.g. none,delay:p=0.25,edgefail:t=1000,count=4 — note count/repair keys belong to the preceding spec (families: "+strings.Join(engine.ScheduleNames(), "|")+")")
+	mission := fs.String("mission", "none", "comma-separated missions, e.g. none,explore,patrol:horizon=4096 — note warmup/window keys belong to the preceding spec (families: "+strings.Join(engine.MissionNames(), "|")+")")
 	doReturn := fs.Bool("return", false, "deprecated alias for -metric return; in text mode, adds the recurrence metric after the cover time")
 	walk := fs.Bool("walk", false, "deprecated alias for -process walk")
 	trials := fs.Int("trials", 16, "trials for the walk expectation estimate (walk replicas)")
@@ -177,12 +180,29 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	scheds := make([]engine.Schedule, 0, 1)
-	for _, p := range splitSchedules(*schedule) {
+	for _, p := range splitSpecs(*schedule, engine.LookupSchedule) {
 		sc, err := engine.ParseSchedule(p)
 		if err != nil {
 			return fmt.Errorf("-schedule: %w", err)
 		}
 		scheds = append(scheds, sc)
+	}
+	// Mission names fail fast like every other registry flag: a typo dies
+	// here with the registered list instead of mid-sweep.
+	missions := make([]engine.Mission, 0, 1)
+	missioned := false
+	for _, p := range splitSpecs(*mission, engine.LookupMission) {
+		mi, err := engine.ParseMission(p)
+		if err != nil {
+			return fmt.Errorf("-mission: %w", err)
+		}
+		missions = append(missions, mi)
+		if mi != engine.MissionNone {
+			missioned = true
+		}
+	}
+	if missioned && *doReturn {
+		return fmt.Errorf("-return does not combine with -mission (missions replace the metric)")
 	}
 	probeSpecs, err := parseProbes(*probes)
 	if err != nil {
@@ -208,6 +228,7 @@ func run(args []string, out io.Writer) error {
 		MaxRounds:  *budget,
 		Kernel:     kern,
 		Schedules:  scheds,
+		Missions:   missions,
 	}
 	if procName == engine.ProcWalk && !replicasSet {
 		// Walks default to -trials replicas; an explicit -replicas wins
@@ -238,11 +259,12 @@ func run(args []string, out io.Writer) error {
 	return err
 }
 
-// splitSchedules splits the -schedule flag into specs: commas separate
-// specs, but a fragment whose head is not a registered schedule family
-// continues the previous spec's parameter list — schedule parameters
-// themselves contain commas ("edgefail:t=1000,count=4").
-func splitSchedules(s string) []string {
+// splitSpecs splits a registry-spec list flag (-schedule, -mission) into
+// specs: commas separate specs, but a fragment whose head is not a
+// registered family continues the previous spec's parameter list — spec
+// parameters themselves contain commas ("edgefail:t=1000,count=4",
+// "patrol:horizon=4096,warmup=64").
+func splitSpecs[T any](s string, lookup func(string) (T, bool)) []string {
 	var out []string
 	for _, part := range strings.Split(s, ",") {
 		p := strings.TrimSpace(part)
@@ -250,7 +272,7 @@ func splitSchedules(s string) []string {
 		if i := strings.IndexAny(head, ":="); i >= 0 {
 			head = head[:i]
 		}
-		if _, ok := engine.LookupSchedule(head); ok || len(out) == 0 {
+		if _, ok := lookup(head); ok || len(out) == 0 {
 			out = append(out, p)
 		} else {
 			out[len(out)-1] += "," + p
@@ -334,13 +356,23 @@ func runText(eng *engine.Engine, spec engine.SweepSpec, addReturn bool, out io.W
 		}
 		elapsed := time.Since(start).Round(time.Millisecond)
 		// The legacy single-line formats speak cover-time language; other
-		// registry metrics (restab_time, ...) render as a summary table.
+		// registry metrics (restab_time, ...) and mission sweeps render as
+		// a summary table.
 		coverish := spec.Metric == "" || spec.Metric == engine.MetricCover
+		for _, m := range spec.Missions {
+			if m != engine.MissionNone {
+				coverish = false
+			}
+		}
 
+		label := spec.Metric
+		if label == "" || label == engine.MetricCover {
+			label = "mission" // only missions force a table on the cover metric
+		}
 		switch {
 		case !coverish:
 			fmt.Fprintf(out, "sweep: %d cells x %d replicas on %d workers, %s metric (%v)\n",
-				len(cells), spec.Replicas, eng.NumWorkers(), spec.Metric, elapsed)
+				len(cells), spec.Replicas, eng.NumWorkers(), label, elapsed)
 			if err := sum.WriteTable(out); err != nil {
 				return err
 			}

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+
+	"rotorring/internal/engine"
 )
 
 func TestRotorRun(t *testing.T) {
@@ -261,17 +263,52 @@ func TestScheduleFlag(t *testing.T) {
 	}
 }
 
-// TestSplitSchedules: the family-aware comma split keeps parameter
-// fragments attached to their spec.
-func TestSplitSchedules(t *testing.T) {
-	got := splitSchedules("none, edgefail:t=10,count=2 ,churn:join=1@2,leave=3@4,reset:t=9")
+// TestMissionRun: mission sweeps through the CLI — the summary line labels
+// the mission column, and conflicting or malformed missions fail fast.
+func TestMissionRun(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-n", "64", "-k", "4", "-mission", "explore,patrol:horizon=256"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"mission=explore", "mission=patrol:horizon=256", "mission metric"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+
+	if err := run([]string{"-n", "32", "-k", "2", "-mission", "explore", "-return"}, &buf); err == nil ||
+		!strings.Contains(err.Error(), "-mission") {
+		t.Errorf("-return + -mission not rejected: %v", err)
+	}
+	if err := run([]string{"-n", "32", "-k", "2", "-mission", "patrol:horizon=0"}, &buf); err == nil {
+		t.Error("bad mission accepted")
+	}
+}
+
+// TestSplitSpecs: the family-aware comma split keeps parameter fragments
+// attached to their spec, for schedules and missions alike.
+func TestSplitSpecs(t *testing.T) {
+	got := splitSpecs("none, edgefail:t=10,count=2 ,churn:join=1@2,leave=3@4,reset:t=9", engine.LookupSchedule)
 	want := []string{"none", "edgefail:t=10,count=2", "churn:join=1@2,leave=3@4", "reset:t=9"}
 	if len(got) != len(want) {
-		t.Fatalf("splitSchedules = %q, want %q", got, want)
+		t.Fatalf("splitSpecs = %q, want %q", got, want)
 	}
 	for i := range want {
 		if got[i] != want[i] {
-			t.Fatalf("splitSchedules[%d] = %q, want %q", i, got[i], want[i])
+			t.Fatalf("splitSpecs[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+
+	got = splitSpecs("explore, patrol:horizon=64,warmup=8 ,quiesce:window=16,balance:horizon=9", engine.LookupMission)
+	want = []string{"explore", "patrol:horizon=64,warmup=8", "quiesce:window=16", "balance:horizon=9"}
+	if len(got) != len(want) {
+		t.Fatalf("splitSpecs = %q, want %q", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("splitSpecs[%d] = %q, want %q", i, got[i], want[i])
 		}
 	}
 }
@@ -290,6 +327,7 @@ func TestUnknownRegistryNames(t *testing.T) {
 		"format":   {[]string{"-format", "yaml"}, "jsonl"},
 		"topology": {[]string{"-topology", "moebius"}, "ring"},
 		"schedule": {[]string{"-schedule", "chaos:p=1"}, "delay"},
+		"mission":  {[]string{"-mission", "warp"}, "patrol"},
 	}
 	for name, tc := range cases {
 		var buf bytes.Buffer

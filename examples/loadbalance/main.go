@@ -4,14 +4,14 @@
 // with near-perfect regularity, while random-walk routing shows √t-scale
 // fluctuations.
 //
-// We circulate the same number of tokens under both disciplines on a
-// torus and compare how evenly the cumulative work (visits) spreads over
-// nodes. The Process interface makes the comparison one loop: both
-// processes are constructed, run and inspected through the same surface.
+// This example is a thin wrapper over the sweep registry's balance mission
+// ("balance:horizon=r,warmup=0"): each row circulates the tokens to the
+// horizon and reports per-node visit-count fairness — the same mission
+// spec works in rotorsim -mission, through the rotord service, and across
+// cluster workers, byte-identically.
 package main
 
 import (
-	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -25,46 +25,36 @@ func main() {
 	rounds := flag.Int64("rounds", 20000, "rounds to run")
 	flag.Parse()
 
-	g := rotorring.Torus2D(*side, *side)
-	n := g.NumNodes()
-	ctx := context.Background()
-
+	n := *side * *side
+	mission := rotorring.Mission(fmt.Sprintf("balance:horizon=%d,warmup=0", *rounds))
 	fmt.Printf("%d tokens on a %dx%d torus for %d rounds (mean visits/node = %.0f)\n\n",
 		*tokens, *side, *side, *rounds, float64(*tokens)*float64(*rounds)/float64(n))
 
-	for _, kind := range []struct {
-		name string
-		k    rotorring.ProcessKind
-	}{
-		{"rotor-router", rotorring.RotorRouter()},
-		{"random walks", rotorring.RandomWalk()},
+	for _, proc := range []struct{ name, process string }{
+		{"rotor-router", "rotor"},
+		{"random walks", "walk"},
 	} {
-		p, err := rotorring.New(g, kind.k,
-			rotorring.Agents(*tokens),
-			rotorring.Place(rotorring.PlaceRandom),
-			rotorring.Pointers(rotorring.PointerRandom),
-			rotorring.Seed(11))
+		spec := rotorring.SweepSpec{
+			Topologies: []rotorring.Topo{rotorring.Topo(fmt.Sprintf("torus:%dx%d", *side, *side))},
+			Agents:     []int{*tokens},
+			Placements: []rotorring.PlacementPolicy{rotorring.PlaceRandom},
+			Pointers:   []rotorring.PointerPolicy{rotorring.PointerRandom},
+			Process:    proc.process,
+			Missions:   []rotorring.Mission{mission},
+			Seed:       11,
+		}
+		rows, err := rotorring.RunSweep(spec, 0)
 		if err != nil {
 			log.Fatal(err)
 		}
-		if err := rotorring.RunContext(ctx, p, *rounds); err != nil {
-			log.Fatal(err)
+		r := rows[0]
+		if r.Err != "" {
+			log.Fatal(r.Err)
 		}
-		min, max := p.Visits(0), p.Visits(0)
-		var sum int64
-		for v := 0; v < n; v++ {
-			c := p.Visits(v)
-			sum += c
-			if c < min {
-				min = c
-			}
-			if c > max {
-				max = c
-			}
-		}
-		mean := float64(sum) / float64(n)
-		fmt.Printf("%-13s visits per node: min %6d, max %6d, spread %5d (%.2f%% of mean)\n",
-			kind.name, min, max, max-min, 100*float64(max-min)/mean)
+		mean := float64(*tokens) * float64(*rounds) / float64(n)
+		fmt.Printf("%-13s visits per node: min %6d, max %6d, fairness %.3f, spread %.2f%% of mean\n",
+			proc.name, r.MinVisits, r.MaxVisits, r.Fairness,
+			100*float64(r.MaxVisits-r.MinVisits)/mean)
 	}
 
 	fmt.Printf("\nthe rotor-router's discrepancy stays O(1)-per-round bounded (Cooper–Spencer);\n")

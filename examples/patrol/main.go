@@ -6,12 +6,16 @@
 // stabilization every station is revisited every Θ(n/k) rounds, whatever
 // the initial placement (Theorem 6). Random walkers only promise n/k in
 // expectation: their worst observed idle times are far larger and
-// unbounded in the limit. This example measures both through the unified
-// Process API, asserting each process's recurrence capability.
+// unbounded in the limit.
+//
+// This example is a thin wrapper over the sweep registry's patrol mission
+// ("patrol:horizon=r"): each row runs the process to the horizon and
+// reports per-station idle-interval staleness after a warmup prefix — the
+// same mission spec works in rotorsim -mission, through the rotord
+// service, and across cluster workers, byte-identically.
 package main
 
 import (
-	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -24,49 +28,54 @@ func main() {
 	k := flag.Int("k", 8, "patrol agents")
 	flag.Parse()
 
-	g := rotorring.Ring(*n)
-	ctx := context.Background()
-	fmt.Printf("patrolling a %d-station perimeter with %d agents (ideal revisit interval n/k = %d)\n\n",
+	horizon := int64(100 * *n)
+	mission := rotorring.Mission(fmt.Sprintf("patrol:horizon=%d", horizon))
+	fmt.Printf("patrolling a %d-station perimeter with %d agents (ideal revisit interval n/k = %d)\n",
 		*n, *k, *n / *k)
+	fmt.Printf("mission %q: observe idle intervals over the second half of %d rounds\n\n", mission, horizon)
 
-	// Deterministic patrol. Start from the worst placement to show the
-	// guarantee is initialization-independent.
-	for _, placement := range []struct {
-		name string
-		p    rotorring.PlacementPolicy
-	}{
-		{"all agents at one gate", rotorring.PlaceSingleNode},
-		{"agents spread evenly", rotorring.PlaceEqualSpacing},
-	} {
-		sim, err := rotorring.New(g, rotorring.RotorRouter(),
-			rotorring.Agents(*k),
-			rotorring.Place(placement.p),
-			rotorring.Pointers(rotorring.PointerZero))
-		if err != nil {
-			log.Fatal(err)
-		}
-		ret, err := rotorring.ReturnTimeContext(ctx, sim, 0)
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("rotor-router, %-24s worst idle %4d rounds, mean idle %6.1f (limit period %d)\n",
-			placement.name+":", ret.ReturnTime, ret.MeanGap, ret.Period)
+	// One mission sweep per process: rotor from both extreme placements
+	// (the guarantee is initialization-independent), walks from the
+	// favorable one.
+	rotor := rotorring.SweepSpec{
+		Sizes:      []int{*n},
+		Agents:     []int{*k},
+		Placements: []rotorring.PlacementPolicy{rotorring.PlaceSingleNode, rotorring.PlaceEqualSpacing},
+		Pointers:   []rotorring.PointerPolicy{rotorring.PointerZero},
+		Missions:   []rotorring.Mission{mission},
+		Seed:       7,
 	}
-
-	// Randomized patrol: long-run observation window. Gap measurement is a
-	// *WalkSim capability.
-	p, err := rotorring.New(g, rotorring.RandomWalk(),
-		rotorring.Agents(*k),
-		rotorring.Place(rotorring.PlaceEqualSpacing),
-		rotorring.Seed(7))
+	rows, err := rotorring.RunSweep(rotor, 0)
 	if err != nil {
 		log.Fatal(err)
 	}
-	window := int64(400 * *n)
-	gs := p.(*rotorring.WalkSim).MeasureGaps(int64(10**n), window)
-	fmt.Printf("\nrandom walks over %d rounds:          worst idle %4d rounds, mean idle %6.1f\n",
-		window, gs.MaxGap, gs.MeanGap)
+	names := map[rotorring.PlacementPolicy]string{
+		rotorring.PlaceSingleNode:   "all agents at one gate",
+		rotorring.PlaceEqualSpacing: "agents spread evenly",
+	}
+	for _, r := range rows {
+		if r.Err != "" {
+			log.Fatal(r.Err)
+		}
+		fmt.Printf("rotor-router, %-24s worst idle %5.0f rounds, mean idle %7.1f\n",
+			names[r.Placement]+":", r.StalenessMax, r.StalenessMean)
+	}
 
-	fmt.Printf("\nthe deterministic patrol bounds every idle interval; the randomized patrol's\n")
-	fmt.Printf("mean matches n/k but its worst case drifts upward with the observation window.\n")
+	walk := rotor
+	walk.Process = "walk"
+	walk.Placements = []rotorring.PlacementPolicy{rotorring.PlaceEqualSpacing}
+	rows, err = rotorring.RunSweep(walk, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Err != "" {
+			log.Fatal(r.Err)
+		}
+		fmt.Printf("\nrandom walks, %-24s worst idle %5.0f rounds, mean idle %7.1f\n",
+			names[r.Placement]+":", r.StalenessMax, r.StalenessMean)
+	}
+
+	fmt.Printf("\nthe deterministic patrol bounds every idle interval near n/k; the randomized\n")
+	fmt.Printf("patrol's mean matches but its worst case drifts upward with the window.\n")
 }

@@ -118,6 +118,12 @@ type System struct {
 	recordArcs bool
 	arcCount   []int64
 
+	// Optional per-move arc observer (SetArcObserver): called from the
+	// generic move loop for every (source, port, count) batch of agents
+	// traversing an arc. Like flow/arc recording, an installed observer
+	// excludes the specialized kernels (which do not fire it).
+	arcObs func(v, port int, agents int64)
+
 	// Scratch buffers reused across rounds.
 	srcNode []int
 	srcCnt  []int64
@@ -311,11 +317,23 @@ func NewSystem(g *graph.Graph, opts ...Option) (*System, error) {
 // (Rewire, AddAgents, RemoveAgents): fast paths re-specialize when the new
 // shape has a kernel and fall back to the generic engine otherwise.
 func (s *System) reselectKernel() {
-	if s.kmode != KernelGeneric && !s.recordFlows && !s.recordArcs {
+	if s.kmode != KernelGeneric && !s.recordFlows && !s.recordArcs && s.arcObs == nil {
 		s.fast = kernel.Select(s.g, s.k, s.kmode == KernelFast)
 	} else {
 		s.fast = nil
 	}
+}
+
+// SetArcObserver installs fn as the per-move arc observer. During every
+// subsequent round, fn is invoked once per (source vertex, port) group of
+// agents that traverses the corresponding arc, with the number of agents in
+// the group. Observation happens inside the generic move loop, so a non-nil
+// observer excludes the specialized kernels (like flow recording); pass nil
+// to remove the observer and restore fast-kernel eligibility. The observer
+// is not copied by Clone.
+func (s *System) SetArcObserver(fn func(v, port int, agents int64)) {
+	s.arcObs = fn
+	s.reselectKernel()
 }
 
 // Graph returns the topology the system runs on.
@@ -575,6 +593,9 @@ func (s *System) StepHeld(held []int64) {
 			if s.recordArcs {
 				s.arcCount[s.g.ArcID(v, port)] += cnt
 			}
+			if s.arcObs != nil {
+				s.arcObs(v, port, cnt)
+			}
 		}
 		s.st.Exits[v] += m
 		newPtr := int32((p + m) % d)
@@ -680,6 +701,12 @@ func (s *System) Clone() *System {
 	}
 	if s.recordArcs {
 		c.arcCount = append([]int64(nil), s.arcCount...)
+	}
+	// The arc observer is not cloned: it is a closure over caller state tied
+	// to the original system. Without it the clone may be fast-kernel
+	// eligible again, so re-evaluate instead of inheriting s.fast == nil.
+	if s.arcObs != nil {
+		c.reselectKernel()
 	}
 	return c
 }

@@ -68,7 +68,7 @@ func (e *ExpandedSweep) JobSeed(job int) uint64 {
 // except the cell's grid index. Two jobs — in different sweeps, different
 // grid shapes, different servers — with equal JobKeys produce rows that
 // differ at most in the positional "cell" field. Row caches key on (a
-// digest of) this string; the "rowcache/v1" prefix versions the derivation
+// digest of) this string; the "rowcache/v2" prefix versions the derivation
 // so a future change to row content or seed derivation invalidates old
 // entries instead of serving stale bytes.
 func (e *ExpandedSweep) JobKey(job int) string {
@@ -85,12 +85,16 @@ func (e *ExpandedSweep) JobKey(job int) string {
 		gseed = graphSeedOf(e.spec.Seed, c.Spec)
 	}
 	return strings.Join([]string{
-		"rowcache/v1",
+		// v2: the mission component joined the preimage (mission-less jobs
+		// keep distinct keys from their v1 forms, which is the point of the
+		// version bump — row bytes themselves are unchanged for them).
+		"rowcache/v2",
 		"topo=" + c.Topology,
 		"spec=" + c.Spec,
 		fmt.Sprintf("n=%d", c.N),
 		fmt.Sprintf("k=%d", c.K),
 		"sched=" + c.Schedule,
+		"mission=" + c.Mission,
 		"place=" + c.Placement.String(),
 		"ptr=" + c.Pointer.String(),
 		"proc=" + e.spec.Process,

@@ -94,14 +94,15 @@ func TestJobKeyIdentity(t *testing.T) {
 		"maxrounds": {Topologies: []Topo{"ring"}, Sizes: []int{32}, Agents: []int{2}, Seed: 7, MaxRounds: 999},
 		"schedule":  {Topologies: []Topo{"ring"}, Sizes: []int{32}, Agents: []int{2}, Seed: 7, Schedules: []Schedule{"delay:p=0.25"}},
 		"probes":    {Topologies: []Topo{"ring"}, Sizes: []int{32}, Agents: []int{2}, Seed: 7, Probes: []ProbeSpec{{Name: "coverage", Stride: 16}}},
+		"mission":   {Topologies: []Topo{"ring"}, Sizes: []int{32}, Agents: []int{2}, Seed: 7, Missions: []Mission{"explore"}},
 	}
 	baseExp, err := Expand(base)
 	if err != nil {
 		t.Fatal(err)
 	}
 	baseKey := baseExp.JobKey(0)
-	if !strings.HasPrefix(baseKey, "rowcache/v1|") {
-		t.Errorf("key %q lacks the rowcache/v1 version prefix", baseKey)
+	if !strings.HasPrefix(baseKey, "rowcache/v2|") {
+		t.Errorf("key %q lacks the rowcache/v2 version prefix", baseKey)
 	}
 	for name, v := range variants {
 		exp, err := Expand(v)

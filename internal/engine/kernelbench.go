@@ -122,6 +122,44 @@ func KernelBenchCases() []KernelBenchCase {
 		}
 		return sp.Step, nil
 	}
+	// The mission-path case measures the mission runner's stepping cost: the
+	// same dense rotor workload with a patrol mission state attached, so
+	// every round pays the generic engine (the arc observer excludes the
+	// ring kernel) plus the per-move staleness bookkeeping. The horizon is
+	// set far beyond the measurement so Done never fires. Stated against
+	// rotor-generic, the gap is the price of per-arc observation.
+	mission := func() (func(), error) {
+		g := graph.Ring(kernelBenchRotorN)
+		rng := xrand.New(1)
+		env := &JobEnv{
+			Graph: g,
+			Cell: Cell{Topology: "ring", N: kernelBenchRotorN, K: kernelBenchRotorK,
+				Placement: PlaceRandom, Pointer: PtrRandom},
+			Positions: core.RandomPositions(kernelBenchRotorN, kernelBenchRotorK, rng),
+			Seed:      1,
+			RNG:       rng,
+		}
+		p, err := newRotorProc(env)
+		if err != nil {
+			return nil, err
+		}
+		mi, err := parseMission("patrol:horizon=1099511627776,warmup=0")
+		if err != nil {
+			return nil, err
+		}
+		st, err := mi.def.New(mi.plan, ProcRotor, env, p)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < kernelBenchWarmup; i++ {
+			p.Step()
+			st.Observe(p.Round())
+		}
+		return func() {
+			p.Step()
+			st.Observe(p.Round())
+		}, nil
+	}
 	ringName := fmt.Sprintf("ring(%d)", kernelBenchRotorN)
 	walkRing := fmt.Sprintf("ring(%d)", kernelBenchWalkN)
 	return []KernelBenchCase{
@@ -131,6 +169,8 @@ func KernelBenchCases() []KernelBenchCase {
 			Baseline: "rotor-generic", NewStepper: rotor(core.KernelFast)},
 		{Name: "rotor-sched-delay", Process: "rotor", Graph: ringName, K: kernelBenchRotorK,
 			Baseline: "rotor-generic", NewStepper: scheduled},
+		{Name: "rotor-mission-patrol", Process: "rotor", Graph: ringName, K: kernelBenchRotorK,
+			Baseline: "rotor-generic", NewStepper: mission},
 		{Name: "walk-agents", Process: "walk", Graph: walkRing, K: kernelBenchWalkK,
 			NewStepper: walk(randwalk.ModeAgents)},
 		{Name: "walk-counts", Process: "walk", Graph: walkRing, K: kernelBenchWalkK,

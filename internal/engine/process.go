@@ -175,6 +175,25 @@ type Cloner interface {
 	CloneProc() Proc
 }
 
+// ArcTraversalObserver is the capability of reporting individual arc
+// traversals as they happen: after SetArcObserver(fn), every round invokes
+// fn once per (source vertex, port) group of agents crossing that arc, with
+// the group size. Mission predicates dispatch on it to maintain incremental
+// state in O(arcs moved) per round instead of O(E) rescans. Passing nil
+// removes the observer. Installing an observer must not change the
+// trajectory (it may exclude specialized kernels, which are bit-identical).
+type ArcTraversalObserver interface {
+	SetArcObserver(fn func(v, port int, agents int64))
+}
+
+// ConfigHasher is the capability of reporting an incremental 64-bit hash of
+// the full process configuration (positions + pointers for the rotor). The
+// quiesce mission dispatches on it for O(1)-per-round limit-cycle
+// detection.
+type ConfigHasher interface {
+	ConfigHash() uint64
+}
+
 // JobEnv is everything a process factory and a metric measurement may need
 // about the job at hand.
 type JobEnv struct {

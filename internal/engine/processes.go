@@ -81,6 +81,11 @@ func (p *rotorProc) NumAgents() int64   { return p.sys.NumAgents() }
 func (p *rotorProc) Pointers() []int    { return p.sys.Pointers() }
 func (p *rotorProc) ResetCoverage()     { p.sys.ResetCoverage() }
 func (p *rotorProc) CloneProc() Proc    { return &rotorProc{sys: p.sys.Clone()} }
+func (p *rotorProc) ConfigHash() uint64 { return p.sys.ConfigHash() }
+
+func (p *rotorProc) SetArcObserver(fn func(v, port int, agents int64)) {
+	p.sys.SetArcObserver(fn)
+}
 
 // Schedule capabilities (see process.go): the rotor supports the full
 // perturbation surface.
@@ -165,6 +170,10 @@ func (p *walkProc) Visits(v int) int64 { return p.w.Visits(v) }
 func (p *walkProc) NumAgents() int64   { return int64(p.w.NumWalkers()) }
 func (p *walkProc) ResetCoverage()     { p.w.ResetCoverage() }
 func (p *walkProc) CloneProc() Proc    { return &walkProc{w: p.w.Clone(), n: p.n, k: p.k} }
+
+func (p *walkProc) SetArcObserver(fn func(v, port int, agents int64)) {
+	p.w.SetArcObserver(fn)
+}
 
 // Schedule capabilities: walkers have no pointers and no held rounds, but
 // support rewiring and churn.

@@ -145,6 +145,16 @@ func budget(spec *SweepSpec, c Cell, g *graph.Graph) int64 {
 	if plan := c.sched.plan; plan != nil && !c.sched.none() {
 		b = b*plan.BudgetFactor + plan.BudgetOffset
 	}
+	if plan := c.mis.plan; plan != nil && !c.mis.none() {
+		// Predicate missions may run well past cover time (the return
+		// mission waits for a configuration recurrence); service missions
+		// need at least their horizon. This is the hard cap that turns a
+		// non-terminating mission into a mission_timeout row.
+		b *= plan.BudgetFactor
+		if plan.Horizon > 0 && b < plan.Horizon {
+			b = plan.Horizon
+		}
+	}
 	return b
 }
 
@@ -254,6 +264,12 @@ func (w *worker) runJob(spec *SweepSpec, c Cell, replica int) Row {
 		}
 	}
 
+	if !c.mis.none() {
+		// Mission cells replace the metric measurement with the mission
+		// runner: run until the predicate fires or the budget caps it.
+		measureMission(p, c.mis, spec.Process, env, budget(spec, c, g), &row)
+		return row
+	}
 	met.Measure(p, env, budget(spec, c, g), &row)
 	return row
 }

@@ -90,6 +90,73 @@ func TestSeedCompatPR4(t *testing.T) {
 	}
 }
 
+// seedcompatPR8Specs are the exact sweeps whose output was committed at
+// PR 8, before the mission subsystem landed. Do not edit: the goldens are
+// the contract.
+func seedcompatPR8Specs() map[string]SweepSpec {
+	return map[string]SweepSpec{
+		"seedcompat_pr8_sched": {
+			Topologies: []Topo{"ring", "grid:6x6"},
+			Sizes:      []int{16},
+			Agents:     []int{2, 4},
+			Placements: []Placement{PlaceSingle, PlaceEqual},
+			Pointers:   []Pointer{PtrZero},
+			Process:    "rotor",
+			Metric:     "cover",
+			Schedules:  []Schedule{"none", "delay:p=0.25", "reset:t=64"},
+			Replicas:   2,
+			Seed:       11,
+		},
+		"seedcompat_pr8_restab": {
+			Topologies: []Topo{"ring"},
+			Sizes:      []int{24},
+			Agents:     []int{3},
+			Placements: []Placement{PlaceEqual},
+			Pointers:   []Pointer{PtrZero},
+			Process:    "rotor",
+			Metric:     "restab_time",
+			Schedules:  []Schedule{"edgefail:t=256"},
+			Replicas:   1,
+			Seed:       9,
+		},
+		"seedcompat_pr8_walk": {
+			Topologies: []Topo{"ring"},
+			Sizes:      []int{24},
+			Agents:     []int{4},
+			Placements: []Placement{PlaceRandom},
+			Process:    "walk",
+			Metric:     "cover",
+			Schedules:  []Schedule{"none", "delay:p=0.5"},
+			Replicas:   2,
+			Seed:       3,
+		},
+	}
+}
+
+// TestSeedCompatPR8 proves Missions: nil sweeps — scheduled ones included —
+// stay byte-identical to the output the engine produced before the mission
+// subsystem landed.
+func TestSeedCompatPR8(t *testing.T) {
+	for name, spec := range seedcompatPR8Specs() {
+		t.Run(name, func(t *testing.T) {
+			var jsonl, csv bytes.Buffer
+			if _, err := New(Workers(3)).Run(spec, NewJSONLSink(&jsonl), NewCSVSink(&csv)); err != nil {
+				t.Fatal(err)
+			}
+			for ext, got := range map[string][]byte{"jsonl": jsonl.Bytes(), "csv": csv.Bytes()} {
+				want, err := os.ReadFile(filepath.Join("testdata", name+"."+ext))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(got, want) {
+					t.Errorf("%s.%s output drifted from the PR 8 golden (%d vs %d bytes)",
+						name, ext, len(got), len(want))
+				}
+			}
+		})
+	}
+}
+
 // rowFieldOrder extracts the top-level key sequence of the first JSONL row.
 func rowFieldOrder(t *testing.T, jsonl []byte) []string {
 	t.Helper()
@@ -145,6 +212,14 @@ func TestJSONLRowSchema(t *testing.T) {
 	sched := base
 	sched.Schedules = []Schedule{"reset:t=4"}
 	cases["jsonl_schema_scheduled"] = sched
+	// The mission case exercises every mission row field (mission_rounds via
+	// any mission, staleness via patrol); missions reject probes, so the
+	// schema difference to the unscheduled golden is mission fields in,
+	// series out.
+	mission := base
+	mission.Probes = nil
+	mission.Missions = []Mission{"patrol:horizon=64,warmup=8"}
+	cases["jsonl_schema_mission"] = mission
 
 	for name, spec := range cases {
 		t.Run(name, func(t *testing.T) {
@@ -197,6 +272,41 @@ func TestScheduledRowsAddOnlySchemaFields(t *testing.T) {
 	}
 	if i != len(plain) {
 		t.Fatalf("scheduled schema drops unscheduled fields: %v vs %v", sched, plain)
+	}
+}
+
+// TestMissionRowsAddOnlySchemaFields: the mission schema is the unscheduled
+// schema minus the probe series (missions reject probes) plus mission
+// columns — missions never remove or reorder other fields.
+func TestMissionRowsAddOnlySchemaFields(t *testing.T) {
+	read := func(name string) []string {
+		b, err := os.ReadFile(filepath.Join("testdata", name+".golden"))
+		if err != nil {
+			t.Fatalf("%v (run TestJSONLRowSchema with -update-golden first)", err)
+		}
+		return strings.Fields(string(b))
+	}
+	missionFields := map[string]bool{
+		"mission": true, "mission_rounds": true, "mission_timeout": true,
+		"staleness_max": true, "staleness_mean": true, "fairness": true,
+	}
+	plain, mission := read("jsonl_schema_unscheduled"), read("jsonl_schema_mission")
+	i := 0
+	for _, f := range mission {
+		for i < len(plain) && plain[i] == "series" {
+			i++ // the mission case carries no probes
+		}
+		if i < len(plain) && plain[i] == f {
+			i++
+		} else if !missionFields[f] {
+			t.Fatalf("mission schema inserts unexpected field %q", f)
+		}
+	}
+	for i < len(plain) && plain[i] == "series" {
+		i++
+	}
+	if i != len(plain) {
+		t.Fatalf("mission schema drops unscheduled fields: %v vs %v", mission, plain)
 	}
 }
 

@@ -43,6 +43,24 @@ type Row struct {
 	// (rotor MetricReturn only).
 	MinVisits int64 `json:"minVisits,omitempty"`
 	MaxVisits int64 `json:"maxVisits,omitempty"`
+	// MissionRounds is the round count of a mission cell: the round its
+	// predicate fired or its horizon elapsed (or the budget ran out, for a
+	// timeout row). Mission fields are JSONL-only — the CSV sink keeps its
+	// fixed column set — and all omitempty, so mission-less rows are
+	// byte-identical to rows from before missions existed.
+	MissionRounds int64 `json:"mission_rounds,omitempty"`
+	// MissionTimeout marks a mission that exhausted its round budget
+	// before completing: an outcome, not an error (a random walk asked to
+	// "return" is expected to time out).
+	MissionTimeout bool `json:"mission_timeout,omitempty"`
+	// StalenessMax/StalenessMean are the patrol mission's per-vertex
+	// idle-interval extremes after stabilization — the paper's Θ(n/k)
+	// service guarantee as measured columns.
+	StalenessMax  float64 `json:"staleness_max,omitempty"`
+	StalenessMean float64 `json:"staleness_mean,omitempty"`
+	// Fairness is the balance mission's max/min visit-count ratio (0 when
+	// some vertex was never visited in the measurement window).
+	Fairness float64 `json:"fairness,omitempty"`
 	// Err is the measurement error, if any (e.g. budget exhausted). A
 	// failed job still produces its row so sweeps degrade gracefully.
 	Err string `json:"err,omitempty"`
@@ -238,6 +256,11 @@ func (s *SummarySink) WriteTable(w io.Writer) error {
 		}
 		if c.Cell.Schedule != "" {
 			if _, err := fmt.Fprintf(w, " sched=%s", c.Cell.Schedule); err != nil {
+				return err
+			}
+		}
+		if c.Cell.Mission != "" {
+			if _, err := fmt.Fprintf(w, " mission=%s", c.Cell.Mission); err != nil {
 				return err
 			}
 		}

@@ -256,11 +256,26 @@ type SweepSpec struct {
 	// and rows are directly comparable; only the schedule's own event
 	// stream is derived from the schedule spec.
 	Schedules []Schedule `json:"schedules,omitempty"`
+	// Missions lists the mission specs to sweep (see the mission registry
+	// in mission.go for the grammar and RegisterMission for adding
+	// families): "none", "explore", "return", "quiesce:window=4096",
+	// "patrol:horizon=4096", "balance:horizon=4096,warmup=0". The mission
+	// is the innermost grid axis; empty selects the single mission "none",
+	// whose cells — and rows — are exactly those of a mission-less sweep.
+	// Mission cells replace the metric measurement with the mission runner:
+	// the process runs until the mission's predicate fires or its horizon
+	// elapses (or the budget runs out: a mission_timeout row), and the row
+	// carries mission_rounds plus the mission's own metrics. Job seeds
+	// deliberately do not depend on the mission, so the same cell under
+	// different missions starts from the same initial configuration.
+	Missions []Mission `json:"missions,omitempty"`
 
 	// topos is the parsed, validated form of Topologies, filled by
-	// withDefaults; scheds the compiled form of Schedules.
+	// withDefaults; scheds the compiled form of Schedules; miss the
+	// compiled form of Missions.
 	topos  []topoInstance
 	scheds []schedInstance
+	miss   []missionInstance
 }
 
 // withDefaults returns a copy with defaults filled in and the grid
@@ -399,6 +414,48 @@ func (s SweepSpec) withDefaults() (SweepSpec, error) {
 		return s, fmt.Errorf("engine: the %q metric requires at least one schedule with a bounded fault (got %s)",
 			s.Metric, scheduleList(s.Schedules))
 	}
+	// Parse and compile every mission spec eagerly, mirroring schedules.
+	if len(s.Missions) == 0 {
+		s.Missions = []Mission{MissionNone}
+	}
+	s.miss = make([]missionInstance, 0, len(s.Missions))
+	missionCanon := make([]Mission, len(s.Missions))
+	missioned := false
+	for i, m := range s.Missions {
+		inst, err := parseMission(string(m))
+		if err != nil {
+			return s, err
+		}
+		missionCanon[i] = Mission(inst.canonical)
+		s.miss = append(s.miss, inst)
+		if !inst.none() {
+			missioned = true
+		}
+	}
+	s.Missions = missionCanon
+	if missioned {
+		// Mission cells replace the metric measurement with the mission
+		// runner, so combinations that would silently ignore part of the
+		// spec are rejected up front.
+		if s.Metric != MetricCover {
+			return s, fmt.Errorf("engine: missions require the default %q metric (got %q)", MetricCover, s.Metric)
+		}
+		if len(s.Probes) > 0 {
+			return s, fmt.Errorf("engine: missions do not support probes")
+		}
+		// Incremental mission predicates (the explore bitmap, the return
+		// position ledger) assume a fixed graph and population; only hold
+		// regimes and pointer resets compose with missions today.
+		for _, si := range s.scheds {
+			for _, ev := range si.plan.Events {
+				switch ev.Kind {
+				case EvEdgeFail, EvRepair, EvJoin, EvLeave:
+					return s, fmt.Errorf("engine: missions do not support schedule %q (topology or population changes)",
+						si.canonical)
+				}
+			}
+		}
+	}
 	// Topology specs were parsed and validated above without constructing
 	// any graph (building huge topologies just to validate would be worse
 	// than late failure); out-of-range axis sizes still surface as per-job
@@ -437,16 +494,21 @@ type Cell struct {
 	// Schedule is the canonical perturbation-schedule spec of the cell,
 	// empty for unperturbed cells (schedule "none") — so unscheduled rows
 	// serialize exactly as they did before schedules existed.
-	Schedule  string    `json:"schedule,omitempty"`
+	Schedule string `json:"schedule,omitempty"`
+	// Mission is the canonical mission spec of the cell, empty for
+	// mission-less cells (mission "none") — so mission-less rows serialize
+	// exactly as they did before missions existed.
+	Mission   string    `json:"mission,omitempty"`
 	Placement Placement `json:"-"`
 	Pointer   Pointer   `json:"-"`
 
 	// inst is the parsed topology, carried so workers can key the graph
-	// cache and build without re-parsing; sched is the compiled schedule.
-	// Cells compared with reflect.DeepEqual stay equal across runs: both
-	// point into the process-wide registry.
+	// cache and build without re-parsing; sched is the compiled schedule,
+	// mis the compiled mission. Cells compared with reflect.DeepEqual stay
+	// equal across runs: all point into the process-wide registry.
 	inst  topoInstance
 	sched schedInstance
+	mis   missionInstance
 }
 
 // Cells expands the grid in canonical order. The cell order — and therefore
@@ -462,10 +524,11 @@ func (s SweepSpec) Cells() ([]Cell, error) {
 // expand builds the canonical cell grid of an already-normalized spec.
 // Self-sized topologies contribute one size cell (their implied size)
 // instead of fanning out over the Sizes axis, which does not apply to
-// them. Schedules are the innermost axis, so a configuration's schedule
-// variants (perturbed next to pristine) land adjacently in the stream.
+// them. Schedules and then missions are the innermost axes, so a
+// configuration's variants (perturbed next to pristine, goal-directed next
+// to budgeted) land adjacently in the stream.
 func (s SweepSpec) expand() []Cell {
-	cells := make([]Cell, 0, len(s.topos)*len(s.Sizes)*len(s.Agents)*len(s.Placements)*len(s.Pointers)*len(s.scheds))
+	cells := make([]Cell, 0, len(s.topos)*len(s.Sizes)*len(s.Agents)*len(s.Placements)*len(s.Pointers)*len(s.scheds)*len(s.miss))
 	for _, inst := range s.topos {
 		sizes := s.Sizes
 		if inst.size != 0 {
@@ -476,18 +539,22 @@ func (s SweepSpec) expand() []Cell {
 				for _, pl := range s.Placements {
 					for _, pt := range s.Pointers {
 						for _, sc := range s.scheds {
-							cells = append(cells, Cell{
-								Index:     len(cells),
-								Topology:  inst.canonical,
-								Spec:      inst.resolved(n),
-								N:         n,
-								K:         k,
-								Schedule:  sc.cellName(),
-								Placement: pl,
-								Pointer:   pt,
-								inst:      inst,
-								sched:     sc,
-							})
+							for _, mi := range s.miss {
+								cells = append(cells, Cell{
+									Index:     len(cells),
+									Topology:  inst.canonical,
+									Spec:      inst.resolved(n),
+									N:         n,
+									K:         k,
+									Schedule:  sc.cellName(),
+									Mission:   mi.cellName(),
+									Placement: pl,
+									Pointer:   pt,
+									inst:      inst,
+									sched:     sc,
+									mis:       mi,
+								})
+							}
 						}
 					}
 				}

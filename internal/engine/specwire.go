@@ -41,6 +41,7 @@ type wireSpec struct {
 	MaxRounds  int64       `json:"maxRounds,omitempty"`
 	Kernel     string      `json:"kernel,omitempty"`
 	Schedules  []string    `json:"schedules,omitempty"`
+	Missions   []string    `json:"missions,omitempty"`
 }
 
 // wireFields is the set of accepted top-level keys; deprecatedWire maps the
@@ -51,6 +52,7 @@ var (
 		"placements": true, "pointers": true, "process": true,
 		"metric": true, "probes": true, "replicas": true, "seed": true,
 		"maxRounds": true, "kernel": true, "schedules": true,
+		"missions": true,
 	}
 	deprecatedWire = map[string]string{
 		"topology":   `set "topologies": ["<spec>", ...]`,
@@ -127,6 +129,13 @@ func DecodeWireSpec(data []byte) (SweepSpec, error) {
 		}
 		spec.Schedules = append(spec.Schedules, sched)
 	}
+	for _, m := range w.Missions {
+		mi, err := ParseMission(m)
+		if err != nil {
+			return SweepSpec{}, fmt.Errorf("engine: wire spec: missions: %w", err)
+		}
+		spec.Missions = append(spec.Missions, mi)
+	}
 	for _, p := range w.Placements {
 		pl, err := ParsePlacement(p)
 		if err != nil {
@@ -200,6 +209,13 @@ func EncodeWireSpec(spec SweepSpec) ([]byte, error) {
 			return nil, err
 		}
 		w.Schedules = append(w.Schedules, string(sched))
+	}
+	for _, m := range spec.Missions {
+		mi, err := ParseMission(string(m))
+		if err != nil {
+			return nil, err
+		}
+		w.Missions = append(w.Missions, string(mi))
 	}
 	for _, p := range spec.Placements {
 		w.Placements = append(w.Placements, p.String())

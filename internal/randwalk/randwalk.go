@@ -89,6 +89,14 @@ type Walk struct {
 	round   int64
 
 	visits []int64 // arrival counts per node, plus initial placements
+
+	// Optional per-move arc observer (SetArcObserver): called for every
+	// (source, port, count) batch of walkers traversing an arc. The ring
+	// gather pass has no per-arc loop, so observation there goes through
+	// lazily built clockwise/counter-clockwise port tables.
+	arcObs func(v, port int, walkers int64)
+	cwPort []int32 // ring: port at v leading to (v+1) mod n
+	ccPort []int32 // ring: the other port
 }
 
 // Option configures a Walk at construction time.
@@ -239,8 +247,15 @@ func (w *Walk) stepAgents() {
 		var dest int
 		if d == 1 {
 			dest = w.g.Neighbor(v, 0)
+			if w.arcObs != nil {
+				w.arcObs(v, 0, 1)
+			}
 		} else {
-			dest = w.g.Neighbor(v, w.rng.Intn(d))
+			p := w.rng.Intn(d)
+			dest = w.g.Neighbor(v, p)
+			if w.arcObs != nil {
+				w.arcObs(v, p, 1)
+			}
 		}
 		w.pos[i] = dest
 		w.visits[dest]++
@@ -277,6 +292,23 @@ func (w *Walk) stepCounts() {
 			next[v] = split[v-1] + cur[v+1] - split[v+1]
 		}
 		next[n-1] = split[n-2] + cur[0] - split[0]
+		if w.arcObs != nil {
+			// The gather pass above never touches arcs, so replay the draws
+			// as per-arc batches: split[v] walkers clockwise, the rest the
+			// other way. Port identities come from the lazy ring tables.
+			w.ensureRingPorts()
+			for v, c := range cur {
+				if c == 0 {
+					continue
+				}
+				if s := split[v]; s > 0 {
+					w.arcObs(v, int(w.cwPort[v]), s)
+				}
+				if r := c - split[v]; r > 0 {
+					w.arcObs(v, int(w.ccPort[v]), r)
+				}
+			}
+		}
 	} else {
 		for i := range next {
 			next[i] = 0
@@ -288,6 +320,9 @@ func (w *Walk) stepCounts() {
 			d := w.g.Degree(v)
 			if d == 1 {
 				next[w.g.Neighbor(v, 0)] += c
+				if w.arcObs != nil {
+					w.arcObs(v, 0, c)
+				}
 				continue
 			}
 			split := w.port[:d]
@@ -295,6 +330,9 @@ func (w *Walk) stepCounts() {
 			for p, x := range split {
 				if x > 0 {
 					next[w.g.Neighbor(v, p)] += x
+					if w.arcObs != nil {
+						w.arcObs(v, p, x)
+					}
 				}
 			}
 		}
@@ -320,6 +358,34 @@ func (w *Walk) stepCounts() {
 		}
 	}
 	w.cnt, w.next = next, cur
+}
+
+// SetArcObserver installs fn as the per-move arc observer. During every
+// subsequent round, fn is invoked for each (source vertex, port) batch of
+// walkers traversing the corresponding arc, with the number of walkers in
+// the batch; pass nil to remove it. Installing an observer never changes
+// which random draws are made, so trajectories with and without an observer
+// are identical. The observer is not copied by Clone.
+func (w *Walk) SetArcObserver(fn func(v, port int, walkers int64)) {
+	w.arcObs = fn
+}
+
+// ensureRingPorts builds the per-node clockwise/counter-clockwise port
+// tables that translate the ring gather pass into arc observations.
+func (w *Walk) ensureRingPorts() {
+	if w.cwPort != nil {
+		return
+	}
+	n := w.g.NumNodes()
+	w.cwPort = make([]int32, n)
+	w.ccPort = make([]int32, n)
+	for v := 0; v < n; v++ {
+		if w.g.Neighbor(v, 0) == (v+1)%n {
+			w.cwPort[v], w.ccPort[v] = 0, 1
+		} else {
+			w.cwPort[v], w.ccPort[v] = 1, 0
+		}
+	}
 }
 
 // forEachArrival invokes f(v, c) for every node that received c ≥ 1
@@ -400,6 +466,10 @@ func (w *Walk) Clone() *Walk {
 	c.pos0 = append([]int(nil), w.pos0...)
 	c.visited = append([]bool(nil), w.visited...)
 	c.visits = append([]int64(nil), w.visits...)
+	// The arc observer is a closure over caller state tied to the original
+	// walk; the clone starts unobserved. The port tables are immutable per
+	// graph and safe to share.
+	c.arcObs = nil
 	return &c
 }
 
@@ -407,6 +477,7 @@ func (w *Walk) Clone() *Walk {
 // refreshes the shape-dependent fast-path state of the counts engine.
 func (w *Walk) rewireTo(ng *graph.Graph) {
 	w.g = ng
+	w.cwPort, w.ccPort = nil, nil // ring port tables are per-graph
 	if !w.counts {
 		return
 	}

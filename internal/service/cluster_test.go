@@ -332,3 +332,37 @@ func TestClusterWorkersEndpoint(t *testing.T) {
 		t.Errorf("worker names = %v, want w1 and w2", names)
 	}
 }
+
+// TestClusterMissionByteIdentity: mission cells shard across worker nodes
+// unchanged — a mission-bearing sweep streamed through a live coordinator
+// plus worker fleet is byte-identical to a single-node library run, and the
+// mission rows demonstrably came from workers.
+func TestClusterMissionByteIdentity(t *testing.T) {
+	spec := engine.SweepSpec{
+		Topologies: []engine.Topo{"ring", "grid:6x6"},
+		Sizes:      []int{24},
+		Agents:     []int{2, 4},
+		Placements: []engine.Placement{engine.PlaceEqual, engine.PlaceRandom},
+		Schedules:  []engine.Schedule{"none", "delay:p=0.25,until=64"},
+		Missions:   []engine.Mission{"explore", "patrol:horizon=512", "quiesce:window=256"},
+		Replicas:   2,
+		Seed:       13,
+	}
+	want := libraryJSONL(t, spec)
+	if !bytes.Contains(want, []byte(`"mission":"patrol:horizon=512"`)) ||
+		!bytes.Contains(want, []byte(`"staleness_max"`)) {
+		t.Fatal("reference rows carry no mission columns; the spec lost its missions")
+	}
+
+	ts := startClusterServer(t, 2)
+	startWorkers(t, ts, 3)
+
+	st := ts.submit(t, wireSpec(t, spec))
+	got := ts.get(t, "/v1/sweeps/"+st.ID+"/rows")
+	if !bytes.Equal(got, want) {
+		t.Errorf("cluster-streamed mission rows differ from library bytes\n got %d bytes\nwant %d bytes", len(got), len(want))
+	}
+	if snap := ts.srv.cluster.Snapshot(); snap.RemoteRows == 0 {
+		t.Error("no rows came from cluster workers; the sweep ran locally")
+	}
+}

@@ -7,9 +7,9 @@
 // compatibility (Topology, Walk, ReturnTime), the wire format has exactly
 // one spelling per concept and rejects the old ones outright; enums travel
 // as their flag strings ("single", "negative", "fast") rather than opaque
-// integers; and every topology and schedule spec is canonicalized through
-// its registry parser on decode, so a spec that decodes is a spec that
-// runs.
+// integers; and every topology, schedule and mission spec is canonicalized
+// through its registry parser on decode, so a spec that decodes is a spec
+// that runs.
 //
 // A version-1 document looks like:
 //
@@ -24,7 +24,8 @@
 //	  "metric": "cover",
 //	  "replicas": 2,
 //	  "seed": 7,
-//	  "schedules": ["none", "delay:p=0.25"]
+//	  "schedules": ["none", "delay:p=0.25"],
+//	  "missions": ["none", "explore", "patrol:horizon=4096"]
 //	}
 //
 // The "v" field is required and must equal Version: specs are long-lived
@@ -81,6 +82,7 @@ func engineSpec(s rotorring.SweepSpec) engine.SweepSpec {
 		MaxRounds:  s.MaxRounds,
 		Kernel:     engine.Kernel(s.Kernel),
 		Schedules:  s.Schedules,
+		Missions:   s.Missions,
 	}
 	for _, p := range s.Placements {
 		es.Placements = append(es.Placements, engine.Placement(p))
@@ -112,6 +114,7 @@ func publicSpec(es engine.SweepSpec) rotorring.SweepSpec {
 		MaxRounds:  es.MaxRounds,
 		Kernel:     rotorring.KernelPolicy(es.Kernel),
 		Schedules:  es.Schedules,
+		Missions:   es.Missions,
 	}
 	for _, p := range es.Placements {
 		s.Placements = append(s.Placements, rotorring.PlacementPolicy(p))

@@ -47,6 +47,21 @@ var goldenSpecs = []struct {
 		},
 	},
 	{
+		// Mission sweeps travel on the same wire version; probes are absent
+		// because missions reject them.
+		name: "missions",
+		spec: rotorring.SweepSpec{
+			Topologies: []rotorring.Topo{"ring"},
+			Sizes:      []int{64},
+			Agents:     []int{4},
+			Placements: []rotorring.PlacementPolicy{rotorring.PlaceEqualSpacing},
+			Schedules:  []rotorring.Schedule{"none", "delay:p=0.25"},
+			Missions:   []rotorring.Mission{"none", "Explore", "QUIESCE", "patrol:warmup=0,horizon=4096"},
+			Replicas:   2,
+			Seed:       13,
+		},
+	},
+	{
 		name: "deprecated_translated",
 		spec: rotorring.SweepSpec{
 			Topology:   "Grid",
@@ -128,12 +143,14 @@ func TestRoundTripRuns(t *testing.T) {
 
 func TestDecodeRejectsDeprecatedSpellings(t *testing.T) {
 	cases := map[string]string{
-		`{"v":1,"topology":"ring","agents":[2],"sizes":[32]}`:   "deprecated library spelling",
-		`{"v":1,"walk":true,"agents":[2],"sizes":[32]}`:         `set "process": "walk"`,
-		`{"v":1,"returnTime":true,"agents":[2],"sizes":[32]}`:   `set "metric": "return"`,
-		`{"agents":[2],"sizes":[32]}`:                           `missing required version field "v"`,
-		`{"v":9,"agents":[2],"sizes":[32]}`:                     "unsupported version",
-		`{"v":1,"agents":[2],"sizes":[32],"process":"psychic"}`: "unknown process",
+		`{"v":1,"topology":"ring","agents":[2],"sizes":[32]}`:    "deprecated library spelling",
+		`{"v":1,"walk":true,"agents":[2],"sizes":[32]}`:          `set "process": "walk"`,
+		`{"v":1,"returnTime":true,"agents":[2],"sizes":[32]}`:    `set "metric": "return"`,
+		`{"agents":[2],"sizes":[32]}`:                            `missing required version field "v"`,
+		`{"v":9,"agents":[2],"sizes":[32]}`:                      "unsupported version",
+		`{"v":1,"agents":[2],"sizes":[32],"process":"psychic"}`:  "unknown process",
+		`{"v":1,"agents":[2],"sizes":[32],"missions":["warp"]}`:  "unknown mission",
+		`{"v":1,"agents":[2],"sizes":[32],"quests":["explore"]}`: "unknown field",
 	}
 	for body, want := range cases {
 		if _, err := Decode([]byte(body)); err == nil || !strings.Contains(err.Error(), want) {

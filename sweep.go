@@ -42,8 +42,30 @@ func ParseSchedule(s string) (Schedule, error) { return engine.ParseSchedule(s) 
 // ScheduleNames lists the registered schedule family names, sorted.
 func ScheduleNames() []string { return engine.ScheduleNames() }
 
+// Mission is one parameterized mission spec in a sweep, drawn from the
+// mission registry: a termination predicate plus mission-scoped metrics,
+// e.g. "explore" (all edges traversed), "return" (explore, then the initial
+// agent configuration recurs), "quiesce:window=4096" (limit-cycle entry),
+// "patrol:horizon=4096" (per-vertex idle-time staleness — the paper's
+// Θ(n/k) service guarantee as measured columns), and
+// "balance:horizon=4096,warmup=0" (visit-count fairness). Mission cells run
+// until the predicate fires or the horizon elapses instead of measuring a
+// metric under a fixed budget; a run that exhausts its round budget first
+// reports MissionTimeout rather than failing. ParseMission validates and
+// canonicalizes; MissionNames lists the registered families.
+type Mission = engine.Mission
+
+// ParseMission validates a mission spec string and returns its canonical
+// form (lower case, normalized parameters — "QUIESCE" becomes
+// "quiesce:window=4096"). The canonical form re-parses to itself.
+func ParseMission(s string) (Mission, error) { return engine.ParseMission(s) }
+
+// MissionNames lists the registered mission family names, sorted.
+func MissionNames() []string { return engine.MissionNames() }
+
 // SweepSpec describes a grid of experiments: the cross product of
-// Topologies × Sizes × Agents × Placements × Pointers × Schedules, each
+// Topologies × Sizes × Agents × Placements × Pointers × Schedules ×
+// Missions, each
 // configuration run Replicas times with a seed derived from Seed and the
 // configuration (never from execution order). Sweeps therefore produce
 // bit-identical results regardless of how many workers run them.
@@ -127,6 +149,14 @@ type SweepSpec struct {
 	// the schedule spec. The restab_time and cover_after_fault metrics
 	// measure re-stabilization and re-coverage after the schedule's fault.
 	Schedules []Schedule
+	// Missions lists the mission specs to sweep as the innermost grid axis
+	// ("none", "explore", "return", "quiesce:window=4096",
+	// "patrol:horizon=4096", ...). Empty selects the single mission "none",
+	// whose rows are exactly those of a mission-less sweep. Mission cells
+	// replace the metric measurement with the mission runner; job seeds do
+	// not depend on the mission, so the same configuration under different
+	// missions starts identically.
+	Missions []Mission
 }
 
 // ProbeSpec selects a registered probe and its sampling stride for a
@@ -144,6 +174,9 @@ type SweepRow struct {
 	// Schedule is the canonical perturbation schedule the cell ran under,
 	// empty for unperturbed cells.
 	Schedule string
+	// Mission is the canonical mission the cell ran, empty for mission-less
+	// cells.
+	Mission string
 	// Edges and MaxDegree describe the cell's graph (zero when the graph
 	// failed to build).
 	Edges     int
@@ -161,9 +194,28 @@ type SweepRow struct {
 	Value float64
 	// Rounds is the number of simulated rounds.
 	Rounds int64
-	// Period is only set by return-time sweeps: the limit-cycle length
-	// for the rotor, the worst observed inter-visit gap for walks.
+	// Period is only set by return-time sweeps and the quiesce mission:
+	// the limit-cycle length for the rotor, the worst observed inter-visit
+	// gap for walks.
 	Period int64
+	// MinVisits and MaxVisits are per-node visit-count extremes: within one
+	// limit cycle for rotor return-time sweeps, within the measurement
+	// window for the balance mission.
+	MinVisits int64
+	MaxVisits int64
+	// MissionRounds is a mission cell's round count: the round the
+	// predicate fired or the horizon elapsed (or the budget ran out).
+	MissionRounds int64
+	// MissionTimeout marks a mission that exhausted its round budget
+	// before completing — an outcome, not an error.
+	MissionTimeout bool
+	// StalenessMax and StalenessMean are the patrol mission's per-vertex
+	// idle-interval extremes after stabilization.
+	StalenessMax  float64
+	StalenessMean float64
+	// Fairness is the balance mission's max/min visit-count ratio (0 when
+	// some vertex went unvisited in the measurement window).
+	Fairness float64
 	// Err is the per-job failure, e.g. an exhausted round budget; failed
 	// jobs report rather than abort the sweep.
 	Err string
@@ -188,6 +240,7 @@ func (s SweepSpec) engineSpec() engine.SweepSpec {
 		MaxRounds:  s.MaxRounds,
 		Kernel:     engine.Kernel(s.Kernel),
 		Schedules:  s.Schedules,
+		Missions:   s.Missions,
 	}
 	for _, p := range s.Placements {
 		es.Placements = append(es.Placements, engine.Placement(p))
@@ -215,6 +268,7 @@ func publicRows(rows []engine.Row) []SweepRow {
 			N:         r.N,
 			K:         r.K,
 			Schedule:  r.Cell.Schedule,
+			Mission:   r.Cell.Mission,
 			Edges:     r.Edges,
 			MaxDegree: r.MaxDegree,
 			Process:   r.Process,
@@ -224,8 +278,16 @@ func publicRows(rows []engine.Row) []SweepRow {
 			Value:     r.Value,
 			Rounds:    r.Rounds,
 			Period:    r.Period,
+			MinVisits: r.MinVisits,
+			MaxVisits: r.MaxVisits,
 			Err:       r.Err,
 			Series:    r.Series,
+
+			MissionRounds:  r.MissionRounds,
+			MissionTimeout: r.MissionTimeout,
+			StalenessMax:   r.StalenessMax,
+			StalenessMean:  r.StalenessMean,
+			Fairness:       r.Fairness,
 		}
 		out[i].Placement = PlacementPolicy(r.Cell.Placement)
 		if r.Pointer != "" { // pointer-less processes leave the column empty
@@ -237,7 +299,8 @@ func publicRows(rows []engine.Row) []SweepRow {
 
 // RunSweep executes the sweep on a worker pool of the given size (0 =
 // GOMAXPROCS) and returns the rows in canonical grid order: sizes, then
-// agents, placements, pointers, schedules, replicas. The worker count
+// agents, placements, pointers, schedules, missions, replicas. The worker
+// count
 // never affects the results, only the wall-clock time.
 func RunSweep(spec SweepSpec, workers int) ([]SweepRow, error) {
 	rows, err := engine.New(engine.Workers(workers)).Run(spec.engineSpec())
