@@ -57,11 +57,13 @@ bench-baseline:
 		-bench-baseline $(CURDIR)/BENCH_engine.json | grep '^Benchmark' || \
 		{ echo "bench-baseline: no kernel entries in BENCH_engine.json (run make bench-json)" >&2; exit 1; }
 
-# Regenerate the engine perf trajectory at the repo root. Warns if
-# GOMAXPROCS is below the measured worker counts (the speedup trajectory is
-# meaningless on a starved scheduler).
+# Regenerate the engine perf trajectory at the repo root. Refuses outright
+# when GOMAXPROCS==1 (a starved scheduler makes every parallel speedup
+# meaningless); set FORCE=1 to record a starved baseline deliberately. Warns
+# when GOMAXPROCS is below the measured worker counts.
+FORCE ?=
 bench-json:
-	$(GO) test -count=1 ./internal/engine -run TestEmitBenchJSON -bench-json $(CURDIR)/BENCH_engine.json -v
+	$(GO) test -count=1 ./internal/engine -run TestEmitBenchJSON -bench-json $(CURDIR)/BENCH_engine.json -v $(if $(FORCE),-bench-force)
 
 # Execute every example with small parameters: examples are user-facing
 # API documentation, so CI proves they run, not just compile.
@@ -103,6 +105,8 @@ cluster-smoke:
 FUZZTIME ?= 10s
 fuzz-smoke:
 	$(GO) test ./internal/core -run '^$$' -fuzz '^FuzzKernelEquivalence$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/core -run '^$$' -fuzz '^FuzzKernelHeldEquivalence$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/core -run '^$$' -fuzz '^FuzzKernelParallelEquivalence$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/engine -run '^$$' -fuzz '^FuzzParseTopo$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/engine -run '^$$' -fuzz '^FuzzParseSchedule$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/engine -run '^$$' -fuzz '^FuzzParseMission$$' -fuzztime $(FUZZTIME)

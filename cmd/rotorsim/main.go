@@ -92,7 +92,7 @@ func run(args []string, out io.Writer) error {
 	trials := fs.Int("trials", 16, "trials for the walk expectation estimate (walk replicas)")
 	replicas := fs.Int("replicas", 1, "replicas per grid cell, each with a derived seed")
 	workers := fs.Int("workers", 0, "sweep engine worker pool size (0 = GOMAXPROCS); never affects results")
-	kernelFlag := fs.String("kernel", "auto", "stepping tier: auto|generic|fast; rotor results are bit-identical across tiers, walk trials are resampled (statistically equivalent)")
+	kernelFlag := fs.String("kernel", "auto", "stepping tier: auto|generic|fast|parallel; rotor results are bit-identical across tiers, walk trials are resampled (statistically equivalent)")
 	format := fs.String("format", "text", "output format: text, or a registered sink: "+strings.Join(engine.SinkNames(), "|"))
 	budget := fs.Int64("budget", 0, "round budget (0 = automatic)")
 	if err := fs.Parse(args); err != nil {

@@ -52,6 +52,13 @@ const (
 	// generic engine (so grids mixing ring and torus cells need no
 	// per-cell configuration).
 	KernelFast
+	// KernelParallel is KernelFast plus the deterministic parallel-within-
+	// round stepper on shapes that support one (currently the ring): node
+	// ranges shard across GOMAXPROCS goroutines with results bit-identical
+	// to the serial kernel at every shard count. Shapes without a parallel
+	// stepper run the serial kernel; unsupported topologies the generic
+	// engine — the same silent degradation as KernelFast.
+	KernelParallel
 )
 
 func (m KernelMode) String() string {
@@ -60,6 +67,8 @@ func (m KernelMode) String() string {
 		return "generic"
 	case KernelFast:
 		return "fast"
+	case KernelParallel:
+		return "parallel"
 	default:
 		return "auto"
 	}
@@ -81,19 +90,27 @@ type System struct {
 
 	// fast is the specialized kernel selected for this system (nil when
 	// only the generic engine applies). Fully-active rounds without flow
-	// or arc recording run on it; everything else takes the generic path.
-	fast  kernel.Stepper
-	kmode KernelMode
+	// or arc recording run on it — and held rounds too, when the kernel
+	// implements kernel.HeldStepper; everything else takes the generic
+	// path. parShards fixes the shard count under KernelParallel (0 =
+	// GOMAXPROCS at step time).
+	fast      kernel.Stepper
+	kmode     KernelMode
+	parShards int
 
 	ptr0 []int32 // initial pointers, for the arc-traversal law and Reset
 	ag0  []int64 // initial agent counts, for Reset
 
 	// The occupied list is generic-engine bookkeeping: specialized kernels
 	// do not maintain it, so it is rebuilt lazily (occValid) when the
-	// generic engine or an accessor next needs it.
-	occupied []int  // nodes with agents[v] > 0, unordered
-	inOcc    []bool // membership flags for occupied
-	occValid bool
+	// generic engine or an accessor next needs it. occSorted tracks whether
+	// the list is in ascending node order — rebuilds produce it sorted, the
+	// generic move loop's candidate rebuild does not — so ForEachOccupied
+	// can pin its iteration order without re-sorting every round.
+	occupied  []int  // nodes with agents[v] > 0
+	inOcc     []bool // membership flags for occupied
+	occValid  bool
+	occSorted bool
 
 	// lastVisitedFast marks that the last completed round ran on a
 	// specialized kernel, which skips the per-round visited list: in a
@@ -141,6 +158,7 @@ type config struct {
 	arcs      bool
 	hash      bool
 	kmode     KernelMode
+	parShards int
 }
 
 // WithAgentsAt places one agent on each listed node (repeats allowed:
@@ -205,10 +223,25 @@ func WithConfigHash() Option {
 // WithKernelMode selects the stepping tier; the default is KernelAuto.
 func WithKernelMode(m KernelMode) Option {
 	return func(c *config) error {
-		if m < KernelAuto || m > KernelFast {
+		if m < KernelAuto || m > KernelParallel {
 			return fmt.Errorf("core: invalid kernel mode %d", int(m))
 		}
 		c.kmode = m
+		return nil
+	}
+}
+
+// WithParallelShards fixes the shard count of the KernelParallel stepper
+// instead of deriving it from GOMAXPROCS at step time. Results are
+// bit-identical at every shard count; the knob exists for benchmarks and
+// the differential tests that prove that claim. It has no effect in other
+// kernel modes.
+func WithParallelShards(shards int) Option {
+	return func(c *config) error {
+		if shards < 0 {
+			return fmt.Errorf("core: negative shard count %d", shards)
+		}
+		c.parShards = shards
 		return nil
 	}
 }
@@ -230,6 +263,7 @@ func NewSystem(g *graph.Graph, opts ...Option) (*System, error) {
 		n:         n,
 		st:        kernel.NewState(n),
 		kmode:     c.kmode,
+		parShards: c.parShards,
 		ptr0:      make([]int32, n),
 		ag0:       make([]int64, n),
 		inOcc:     make([]bool, n),
@@ -289,6 +323,7 @@ func NewSystem(g *graph.Graph, opts ...Option) (*System, error) {
 		}
 	}
 	s.occValid = true
+	s.occSorted = true
 	if s.st.Covered == n {
 		s.st.CoverRound = 0
 	}
@@ -318,7 +353,14 @@ func NewSystem(g *graph.Graph, opts ...Option) (*System, error) {
 // shape has a kernel and fall back to the generic engine otherwise.
 func (s *System) reselectKernel() {
 	if s.kmode != KernelGeneric && !s.recordFlows && !s.recordArcs && s.arcObs == nil {
-		s.fast = kernel.Select(s.g, s.k, s.kmode == KernelFast)
+		force := s.kmode == KernelFast || s.kmode == KernelParallel
+		s.fast = kernel.Select(s.g, s.k, force)
+		if s.kmode == KernelParallel {
+			// Parallelize returns a fresh stepper (it carries merge
+			// scratch); shapes without a parallel tier keep the serial
+			// kernel it was handed.
+			s.fast = kernel.Parallelize(s.fast, s.parShards)
+		}
 	} else {
 		s.fast = nil
 	}
@@ -348,6 +390,14 @@ func (s *System) Round() int64 { return s.st.Round }
 // AgentsAt returns the number of agents currently at v.
 func (s *System) AgentsAt(v int) int64 { return s.st.Agents[v] }
 
+// AgentCountsView returns the live per-node agent-count array, indexed by
+// node. It is a zero-copy view for flat read loops on hot paths (the
+// schedule runner's hold-draw fill) where per-node AgentsAt calls or a
+// ForEachOccupied closure would dominate. Callers must not mutate it, and
+// must re-fetch it after any step: the fused kernels advance by buffer
+// swap, so the slice goes stale each round.
+func (s *System) AgentCountsView() []int64 { return s.st.Agents }
+
 // Pointer returns the current port pointer of v.
 func (s *System) Pointer(v int) int { return int(s.st.Ptr[v]) }
 
@@ -355,7 +405,8 @@ func (s *System) Pointer(v int) int { return int(s.st.Ptr[v]) }
 func (s *System) InitialPointer(v int) int { return int(s.ptr0[v]) }
 
 // KernelName reports the stepping kernel fully-active rounds run on:
-// "ring" or "path" for the specialized tiers, "generic" otherwise.
+// "ring", "path" or "ring-parallel" for the specialized tiers, "generic"
+// otherwise.
 func (s *System) KernelName() string {
 	if s.fast == nil {
 		return "generic"
@@ -411,6 +462,7 @@ func (s *System) ensureOccupied() {
 		}
 	}
 	s.occValid = true
+	s.occSorted = true
 }
 
 // Occupied returns a copy of the list of nodes currently holding agents.
@@ -497,9 +549,24 @@ func (s *System) touchAgents(v int) {
 // nil held slice means every agent is active. Held agents do not advance
 // the pointer — exactly the paper's D(v,t) semantics.
 //
-// Held rounds always run on the generic engine; StepHeld(nil) on a system
-// with a specialized kernel is equivalent to Step but does not use it.
+// Held rounds run on the specialized kernel when it implements the held
+// tier (ring and path do; see kernel.HeldStepper), bit-identically to the
+// generic engine below, which everything else falls back to. StepHeld(nil)
+// on a system with a specialized kernel is equivalent to Step but
+// deliberately takes the generic path — it is the reference arm of the
+// differential tests.
 func (s *System) StepHeld(held []int64) {
+	if held != nil && s.fast != nil {
+		if hs, ok := s.fast.(kernel.HeldStepper); ok {
+			hs.StepHeld(&s.st, held)
+			s.occValid = false
+			// The kernel maintains the round's visited list eagerly (held
+			// stayers are occupied but not visited, so it cannot be derived
+			// from occupancy the way fully-active rounds allow).
+			s.lastVisitedFast = false
+			return
+		}
+	}
 	s.ensureOccupied()
 
 	// Zero last round's flow records lazily (touched arcs only).
@@ -612,7 +679,8 @@ func (s *System) StepHeld(held []int64) {
 		}
 	}
 
-	// Rebuild the occupied list from candidates.
+	// Rebuild the occupied list from candidates. Candidate order mixes
+	// sources and discovery order, so the list is no longer sorted.
 	s.occupied = s.occupied[:0]
 	for _, v := range s.cand {
 		if s.st.Agents[v] > 0 && !s.inOcc[v] {
@@ -620,6 +688,7 @@ func (s *System) StepHeld(held []int64) {
 			s.occupied = append(s.occupied, v)
 		}
 	}
+	s.occSorted = false
 
 	s.st.Round++
 	if !anyHeld {
@@ -683,11 +752,13 @@ func (s *System) Clone() *System {
 		st:              s.st.Clone(),
 		fast:            s.fast,
 		kmode:           s.kmode,
+		parShards:       s.parShards,
 		ptr0:            append([]int32(nil), s.ptr0...),
 		ag0:             append([]int64(nil), s.ag0...),
 		occupied:        append([]int(nil), s.occupied...),
 		inOcc:           append([]bool(nil), s.inOcc...),
 		occValid:        s.occValid,
+		occSorted:       s.occSorted,
 		lastVisitedFast: s.lastVisitedFast,
 		lastTouch:       make([]int64, s.n),
 		oldCnt:          make([]int64, s.n),
@@ -705,7 +776,10 @@ func (s *System) Clone() *System {
 	// The arc observer is not cloned: it is a closure over caller state tied
 	// to the original system. Without it the clone may be fast-kernel
 	// eligible again, so re-evaluate instead of inheriting s.fast == nil.
-	if s.arcObs != nil {
+	// A parallel stepper carries per-shard merge scratch that must not be
+	// shared between systems, so parallel clones also re-select to get
+	// their own instance.
+	if s.arcObs != nil || s.kmode == KernelParallel {
 		c.reselectKernel()
 	}
 	return c
@@ -753,6 +827,7 @@ func (s *System) Reset() {
 		}
 	}
 	s.occValid = true
+	s.occSorted = true
 	if s.st.Covered == s.n {
 		s.st.CoverRound = 0
 	}

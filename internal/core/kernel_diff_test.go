@@ -34,9 +34,11 @@ func (c diffConfig) String() string {
 	return fmt.Sprintf("%s(n=%d,k=%d,hash=%v,rounds=%d)", shape, c.n, c.k, c.hash, c.rounds)
 }
 
-// buildPair constructs the same random configuration twice: once forced
-// onto the generic engine, once forced onto the specialized kernel.
-func buildPair(t *testing.T, c diffConfig, rng *xrand.Rand) (gen, fast *System) {
+// systemBuilder draws one random configuration for c and returns a factory
+// that instantiates it under any kernel mode, so differential tests can run
+// three and more arms (generic, serial fast, parallel at several shard
+// counts) over identical initial state.
+func systemBuilder(t *testing.T, c diffConfig, rng *xrand.Rand) func(mode KernelMode, extra ...Option) *System {
 	t.Helper()
 	var g *graph.Graph
 	if c.ring {
@@ -46,8 +48,7 @@ func buildPair(t *testing.T, c diffConfig, rng *xrand.Rand) (gen, fast *System) 
 	}
 	positions := RandomPositions(c.n, c.k, rng)
 	pointers := PointersRandom(g, rng)
-
-	mk := func(mode KernelMode) *System {
+	return func(mode KernelMode, extra ...Option) *System {
 		opts := []Option{
 			WithAgentsAt(positions...),
 			WithPointers(pointers),
@@ -56,12 +57,20 @@ func buildPair(t *testing.T, c diffConfig, rng *xrand.Rand) (gen, fast *System) 
 		if c.hash {
 			opts = append(opts, WithConfigHash())
 		}
+		opts = append(opts, extra...)
 		s, err := NewSystem(g, opts...)
 		if err != nil {
 			t.Fatalf("%v: NewSystem: %v", c, err)
 		}
 		return s
 	}
+}
+
+// buildPair constructs the same random configuration twice: once forced
+// onto the generic engine, once forced onto the specialized kernel.
+func buildPair(t *testing.T, c diffConfig, rng *xrand.Rand) (gen, fast *System) {
+	t.Helper()
+	mk := systemBuilder(t, c, rng)
 	gen = mk(KernelGeneric)
 	fast = mk(KernelFast)
 	if gen.KernelName() != "generic" {
@@ -177,10 +186,11 @@ func TestKernelDifferential(t *testing.T) {
 	}
 }
 
-// TestKernelDifferentialHeldInterleaving checks the fast→generic→fast
-// transitions: held rounds always run generically, so a system with a
-// specialized kernel must rebuild its occupied bookkeeping correctly when
-// holds interleave with fast rounds.
+// TestKernelDifferentialHeldInterleaving checks held rounds against the
+// generic engine: on ring and path shapes StepHeld dispatches to the fused
+// held kernels, so this is the primary differential for that tier, and it
+// also covers the occupied-bookkeeping rebuilds when holds interleave with
+// plain fast rounds.
 func TestKernelDifferentialHeldInterleaving(t *testing.T) {
 	rng := xrand.New(0x11e1d)
 	for trial := 0; trial < 40; trial++ {
@@ -412,6 +422,167 @@ func TestKernelShapeDetection(t *testing.T) {
 	}
 }
 
+// TestKernelDifferentialParallel is the serial-identity property for the
+// parallel ring stepper: at every shard count (including the GOMAXPROCS
+// default, shards=0) a KernelParallel system must match the generic engine
+// and the serial fast kernel round for round, across plain and held rounds.
+// Bit-identity at any shard count is what lets BENCH results from parallel
+// runs be compared against serial fixtures.
+func TestKernelDifferentialParallel(t *testing.T) {
+	rng := xrand.New(0x9a7a11e1)
+	shardCounts := []int{0, 1, 2, 3, 5, 8, 16}
+	for trial := 0; trial < 30; trial++ {
+		c := diffConfig{ring: true, n: 4 + rng.Intn(60), hash: rng.Bool(), rounds: 48}
+		c.k = 1 + rng.Intn(4*c.n)
+		shards := shardCounts[trial%len(shardCounts)]
+		mk := systemBuilder(t, c, rng)
+		gen := mk(KernelGeneric)
+		fast := mk(KernelFast)
+		par := mk(KernelParallel, WithParallelShards(shards))
+		if got := par.KernelName(); got != "ring-parallel" {
+			t.Fatalf("%v shards=%d: parallel mode selected %q", c, shards, got)
+		}
+		held := make([]int64, c.n)
+		for r := 1; r <= c.rounds; r++ {
+			if rng.Intn(3) == 0 {
+				for v := range held {
+					held[v] = 0
+				}
+				for _, v := range gen.Occupied() {
+					if rng.Bool() {
+						held[v] = 1 + int64(rng.Intn(2))
+					}
+				}
+				gen.StepHeld(held)
+				fast.StepHeld(held)
+				par.StepHeld(held)
+			} else {
+				gen.Step()
+				fast.Step()
+				par.Step()
+			}
+			compareSystems(t, c, r, gen, par)
+			compareSystems(t, c, r, fast, par)
+		}
+	}
+}
+
+// TestKernelParallelSelection pins how KernelParallel composes with shape
+// detection: only the flat ring layout gets the parallel stepper; path and
+// unsupported topologies keep their serial choice.
+func TestKernelParallelSelection(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *graph.Graph
+		want string
+	}{
+		{"ring", graph.Ring(64), "ring-parallel"},
+		{"path", graph.Path(64), "path"},
+		{"torus", graph.Torus2D(8, 8), "generic"},
+	}
+	for _, tc := range cases {
+		s, err := NewSystem(tc.g,
+			WithAgentsAt(EquallySpaced(tc.g.NumNodes(), 16)...),
+			WithKernelMode(KernelParallel),
+			WithParallelShards(4))
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if got := s.KernelName(); got != tc.want {
+			t.Errorf("%s: kernel %q, want %q", tc.name, got, tc.want)
+		}
+	}
+	if _, err := NewSystem(graph.Ring(8), WithAgentsAt(0), WithParallelShards(-1)); err == nil {
+		t.Error("negative shard count accepted")
+	}
+}
+
+// TestKernelParallelResetClone checks that Reset and Clone keep a parallel
+// system aligned with the generic engine, and that a clone steps on its own
+// stepper instance (the parallel stepper carries per-shard merge scratch, so
+// sharing one between systems would corrupt both).
+func TestKernelParallelResetClone(t *testing.T) {
+	rng := xrand.New(0xc10e4e)
+	c := diffConfig{ring: true, n: 41, k: 90, hash: true, rounds: 25}
+	mk := systemBuilder(t, c, rng)
+	gen := mk(KernelGeneric)
+	par := mk(KernelParallel, WithParallelShards(3))
+	for r := 1; r <= c.rounds; r++ {
+		gen.Step()
+		par.Step()
+	}
+	cg, cp := gen.Clone(), par.Clone()
+	// Interleave: advancing the clone must not disturb the original, and
+	// vice versa, even though both run the parallel stepper.
+	for r := 0; r < 10; r++ {
+		cg.Step()
+		cp.Step()
+		gen.Step()
+		par.Step()
+	}
+	compareSystems(t, c, c.rounds+10, cg, cp)
+	compareSystems(t, c, c.rounds+10, gen, par)
+
+	gen.Reset()
+	par.Reset()
+	compareSystems(t, c, 0, gen, par)
+	for r := 1; r <= 10; r++ {
+		gen.Step()
+		par.Step()
+		compareSystems(t, c, r, gen, par)
+	}
+}
+
+// TestForEachOccupiedAscending pins the documented enumeration order: the
+// schedule subsystem keys its deterministic hold draws by (round, node), so
+// ForEachOccupied must visit nodes in ascending order on every code path —
+// after a fresh build, after kernel rounds and held rounds (which invalidate
+// the list), and after AddAgents appends out of order.
+func TestForEachOccupiedAscending(t *testing.T) {
+	rng := xrand.New(0xa5ce4d)
+	checkAscending := func(t *testing.T, s *System, when string) {
+		t.Helper()
+		prev := -1
+		s.ForEachOccupied(func(v int, agents int64) {
+			if agents < 1 {
+				t.Fatalf("%s: zero count at node %d", when, v)
+			}
+			if v <= prev {
+				t.Fatalf("%s: node %d enumerated after %d", when, v, prev)
+			}
+			if got := s.AgentsAt(v); got != agents {
+				t.Fatalf("%s: node %d count %d, want %d", when, v, agents, got)
+			}
+			prev = v
+		})
+	}
+	for _, mode := range []KernelMode{KernelGeneric, KernelFast, KernelParallel} {
+		s, err := NewSystem(graph.Ring(53),
+			WithAgentsAt(RandomPositions(53, 120, rng)...),
+			WithKernelMode(mode))
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkAscending(t, s, mode.String()+" fresh")
+		held := make([]int64, 53)
+		for r := 0; r < 12; r++ {
+			s.Step()
+			checkAscending(t, s, mode.String()+" after step")
+			for _, v := range s.Occupied() {
+				held[v] = s.AgentsAt(v) / 2
+			}
+			s.StepHeld(held)
+			checkAscending(t, s, mode.String()+" after held")
+			// Append high then low: a naive append order would enumerate
+			// descending here.
+			if err := s.AddAgents(52, 0); err != nil {
+				t.Fatal(err)
+			}
+			checkAscending(t, s, mode.String()+" after add")
+		}
+	}
+}
+
 // FuzzKernelEquivalence is a native fuzz harness over the differential
 // property; `go test` runs the seed corpus, `go test -fuzz` explores.
 func FuzzKernelEquivalence(f *testing.F) {
@@ -428,6 +599,76 @@ func FuzzKernelEquivalence(f *testing.F) {
 			gen.Step()
 			fast.Step()
 			compareSystems(t, c, r, gen, fast)
+		}
+	})
+}
+
+// FuzzKernelHeldEquivalence fuzzes the held-round tier: random hold
+// interleavings on ring and path shapes, fused held kernels vs the generic
+// engine. holdSeed decouples the hold pattern from the configuration draw so
+// the fuzzer can vary them independently.
+func FuzzKernelHeldEquivalence(f *testing.F) {
+	f.Add(uint64(1), uint64(7), uint8(12), uint16(5), true, false)
+	f.Add(uint64(2), uint64(9), uint8(40), uint16(200), false, true)
+	f.Add(uint64(3), uint64(11), uint8(3), uint16(1), true, true)
+	f.Fuzz(func(t *testing.T, seed, holdSeed uint64, nRaw uint8, kRaw uint16, ring, hash bool) {
+		n := 3 + int(nRaw)%80
+		k := 1 + int(kRaw)%(4*n)
+		c := diffConfig{ring: ring, n: n, k: k, hash: hash, rounds: 40}
+		rng := xrand.New(seed)
+		gen, fast := buildPair(t, c, rng)
+		hrng := xrand.New(holdSeed)
+		held := make([]int64, n)
+		for r := 1; r <= c.rounds; r++ {
+			for v := range held {
+				held[v] = 0
+			}
+			for _, v := range gen.Occupied() {
+				if hrng.Bool() {
+					held[v] = int64(hrng.Intn(int(gen.AgentsAt(v)) + 1))
+				}
+			}
+			gen.StepHeld(held)
+			fast.StepHeld(held)
+			compareSystems(t, c, r, gen, fast)
+		}
+	})
+}
+
+// FuzzKernelParallelEquivalence fuzzes the parallel ring stepper's
+// serial-identity property across shard counts, mixing plain and held
+// rounds.
+func FuzzKernelParallelEquivalence(f *testing.F) {
+	f.Add(uint64(1), uint8(12), uint16(5), uint8(2), false)
+	f.Add(uint64(2), uint8(40), uint16(200), uint8(7), true)
+	f.Add(uint64(3), uint8(3), uint16(1), uint8(16), true)
+	f.Fuzz(func(t *testing.T, seed uint64, nRaw uint8, kRaw uint16, shardsRaw uint8, hash bool) {
+		n := 3 + int(nRaw)%80
+		k := 1 + int(kRaw)%(4*n)
+		shards := int(shardsRaw) % 17 // 0 = GOMAXPROCS default
+		c := diffConfig{ring: true, n: n, k: k, hash: hash, rounds: 40}
+		rng := xrand.New(seed)
+		mk := systemBuilder(t, c, rng)
+		gen := mk(KernelGeneric)
+		par := mk(KernelParallel, WithParallelShards(shards))
+		held := make([]int64, n)
+		for r := 1; r <= c.rounds; r++ {
+			if rng.Intn(3) == 0 {
+				for v := range held {
+					held[v] = 0
+				}
+				for _, v := range gen.Occupied() {
+					if rng.Bool() {
+						held[v] = 1 + int64(rng.Intn(2))
+					}
+				}
+				gen.StepHeld(held)
+				par.StepHeld(held)
+			} else {
+				gen.Step()
+				par.Step()
+			}
+			compareSystems(t, c, r, gen, par)
 		}
 	})
 }

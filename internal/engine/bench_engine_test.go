@@ -24,6 +24,12 @@ var benchJSON = flag.String("bench-json", "", "write engine benchmark results to
 // against the committed trajectory with plain benchstat.
 var benchBaseline = flag.String("bench-baseline", "", "print the kernel entries of this BENCH_engine.json in go-bench format")
 
+// benchForce overrides the GOMAXPROCS guard of TestEmitBenchJSON: a
+// trajectory generated on one processor understates every parallel speedup
+// (worker ladder and parallel kernel alike), so emission refuses by default
+// and requires an explicit opt-in to commit a starved baseline.
+var benchForce = flag.Bool("bench-force", false, "emit bench JSON even when GOMAXPROCS==1 (starved baseline)")
+
 // benchSpec is the fixed workload benchmarks and the JSON trajectory share:
 // a rotor cover-time grid whose cells are heavy enough (~(n/k)^2 rounds)
 // that scheduling overhead is negligible against simulation work.
@@ -171,14 +177,19 @@ func timeIt(t *testing.T, reps int, fn func() error) float64 {
 	return best
 }
 
-// measureKernels times every kernel workload over a fixed round count,
-// best of three fresh builds (construction excluded from the clock).
+// measureKernels times every kernel workload over a fixed round count
+// (per-case overrides for heavyweight configurations), best of three fresh
+// builds (construction excluded from the clock).
 func measureKernels(t *testing.T) []kernelResult {
 	t.Helper()
-	const rounds = 192
+	const defaultRounds = 192
 	out := make([]kernelResult, 0, 4)
 	baseline := make(map[string]float64) // name -> rounds/sec
 	for _, kc := range KernelBenchCases() {
+		rounds := kc.Rounds
+		if rounds == 0 {
+			rounds = defaultRounds
+		}
 		// Best of three fresh builds; construction stays off the clock.
 		var sec float64
 		for rep := 0; rep < 3; rep++ {
@@ -198,9 +209,9 @@ func measureKernels(t *testing.T) []kernelResult {
 			Name:         kc.Name,
 			Graph:        kc.Graph,
 			K:            kc.K,
-			Rounds:       rounds,
+			Rounds:       int64(rounds),
 			Seconds:      sec,
-			RoundsPerSec: rounds / sec,
+			RoundsPerSec: float64(rounds) / sec,
 		}
 		kr.StepsPerSec = kr.RoundsPerSec * float64(kc.K)
 		if kc.Baseline == "" {
@@ -272,7 +283,15 @@ func TestEmitBenchJSON(t *testing.T) {
 	}
 
 	maxWorkers := benchWorkerCounts[len(benchWorkerCounts)-1]
-	if procs := runtime.GOMAXPROCS(0); procs < maxWorkers {
+	if procs := runtime.GOMAXPROCS(0); procs == 1 && !*benchForce {
+		// A one-processor run starves every parallel measurement (the worker
+		// ladder and the parallel ring stepper both degrade to serial);
+		// committing such a trajectory as the baseline misstates the
+		// engine's scaling. Refuse unless explicitly overridden.
+		t.Fatal("refusing to emit bench JSON with GOMAXPROCS=1: parallel speedups would be " +
+			"measured starved (set GOMAXPROCS>=4, as the CI bench job does, or pass -bench-force " +
+			"to record a starved baseline deliberately)")
+	} else if procs < maxWorkers {
 		// The worker ladder cannot scale past the scheduler's processor
 		// cap; the committed trajectory should say so loudly.
 		fmt.Fprintf(os.Stderr,

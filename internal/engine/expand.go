@@ -68,7 +68,7 @@ func (e *ExpandedSweep) JobSeed(job int) uint64 {
 // except the cell's grid index. Two jobs — in different sweeps, different
 // grid shapes, different servers — with equal JobKeys produce rows that
 // differ at most in the positional "cell" field. Row caches key on (a
-// digest of) this string; the "rowcache/v2" prefix versions the derivation
+// digest of) this string; the "rowcache/v3" prefix versions the derivation
 // so a future change to row content or seed derivation invalidates old
 // entries instead of serving stale bytes.
 func (e *ExpandedSweep) JobKey(job int) string {
@@ -88,7 +88,13 @@ func (e *ExpandedSweep) JobKey(job int) string {
 		// v2: the mission component joined the preimage (mission-less jobs
 		// keep distinct keys from their v1 forms, which is the point of the
 		// version bump — row bytes themselves are unchanged for them).
-		"rowcache/v2",
+		// v3: the hold-draw stream became a pure counter-based function of
+		// (schedule seed, round, node) — helddraw.go — instead of consuming
+		// the sequential event stream in occupied order. Rows of schedules
+		// with a hold regime (delay) changed bytes; every other row is
+		// byte-identical, but the bump invalidates all cached entries rather
+		// than distinguishing the two.
+		"rowcache/v3",
 		"topo=" + c.Topology,
 		"spec=" + c.Spec,
 		fmt.Sprintf("n=%d", c.N),

@@ -39,6 +39,9 @@ func TestKernelNeverAffectsRotorResults(t *testing.T) {
 	if auto != generic || generic != fast {
 		t.Fatal("kernel selection changed sweep results")
 	}
+	if par := marshal(KernelParallel); par != fast {
+		t.Fatal("parallel kernel changed sweep results")
+	}
 
 	// Return-time metric exercises cycle detection (hash-enabled clones).
 	spec.Metric = MetricReturn

@@ -11,11 +11,12 @@ import (
 
 // This file defines the fixed per-kernel throughput workloads shared by the
 // root package's BenchmarkKernel benchmarks and the BENCH_engine.json
-// trajectory (TestEmitBenchJSON): one rotor pair (generic engine versus the
-// ring kernel) on the acceptance configuration Ring(2^16), and one walk
-// pair (per-agent versus counts-based) at k = 10·n. Keeping the workload in
-// one place means `make bench-kernels` and the committed JSON always
-// measure the same thing.
+// trajectory (TestEmitBenchJSON): the rotor tiers (generic engine, ring
+// kernel, held-round kernel, the scheduled and mission paths) on the
+// acceptance configuration Ring(2^16), the serial-versus-parallel ring pair
+// at 2^24 nodes, and one walk pair (per-agent versus counts-based) at
+// k = 10·n. Keeping the workload in one place means `make bench-kernels`
+// and the committed JSON always measure the same thing.
 
 // KernelBenchCase is one fixed kernel-tier throughput workload.
 type KernelBenchCase struct {
@@ -30,6 +31,10 @@ type KernelBenchCase struct {
 	// Baseline names the generic-tier counterpart this case's speedup is
 	// stated against; empty for the baselines themselves.
 	Baseline string
+	// Rounds overrides the measured round count for heavyweight cases
+	// (0 = the shared default in measureKernels); their NewStepper also
+	// runs a proportionally shorter warmup.
+	Rounds int
 	// NewStepper builds a fresh simulator, runs a short warmup so the
 	// measurement starts in the steady state (spread-out occupancy, warm
 	// caches), and returns a function advancing one synchronous round.
@@ -49,6 +54,17 @@ const (
 	kernelBenchRotorK = kernelBenchRotorN / 2
 	kernelBenchWalkN  = 1 << 13
 	kernelBenchWalkK  = 10 * kernelBenchWalkN
+)
+
+// The big-ring pair exercises the parallel-within-round stepper at a scale
+// where sharding pays: a round touches ~1 GB of state, far past any cache.
+// Rounds cost ~100 ms each, so the pair overrides its measured round count
+// and warms up only a few rounds.
+const (
+	kernelBenchBigN      = 1 << 24
+	kernelBenchBigK      = 1 << 23
+	kernelBenchBigWarmup = 8
+	kernelBenchBigRounds = 12
 )
 
 // KernelBenchCases returns the fixed workload set, baselines first.
@@ -87,10 +103,63 @@ func KernelBenchCases() []KernelBenchCase {
 			return w.Step, nil
 		}
 	}
+	// The held-kernel case isolates the fused held-round tier: the dense
+	// rotor workload on the ring kernel, every round a StepHeld with a
+	// quarter of each node's population held — the kernel-side cost of the
+	// delay regime without the draw stream. Stated against rotor-generic,
+	// the speedup is what the held tier recovers over generic rounds.
+	heldKernel := func() (func(), error) {
+		g := graph.Ring(kernelBenchRotorN)
+		rng := xrand.New(1)
+		sys, err := core.NewSystem(g,
+			core.WithAgentsAt(core.RandomPositions(kernelBenchRotorN, kernelBenchRotorK, rng)...),
+			core.WithPointers(core.PointersRandom(g, rng)),
+			core.WithKernelMode(core.KernelFast))
+		if err != nil {
+			return nil, err
+		}
+		if sys.KernelName() != "ring" {
+			return nil, fmt.Errorf("engine: ring kernel not selected (%s)", sys.KernelName())
+		}
+		sys.Run(kernelBenchWarmup)
+		held := make([]int64, kernelBenchRotorN)
+		return func() {
+			// Flat fill over the counts view, as on the schedule runner's
+			// fast path; stale entries at emptied nodes are clamped by the
+			// kernel there exactly as here.
+			for v, c := range sys.AgentCountsView() {
+				if c > 0 {
+					held[v] = c / 4
+				}
+			}
+			sys.StepHeld(held)
+		}, nil
+	}
+	// The big-ring pair: the same dense regime at 2^24 nodes, serial ring
+	// kernel versus the parallel-within-round stepper (bit-identical by
+	// construction; the differential suite proves it, this pair prices it).
+	big := func(mode core.KernelMode, want string) func() (func(), error) {
+		return func() (func(), error) {
+			g := graph.Ring(kernelBenchBigN)
+			rng := xrand.New(1)
+			sys, err := core.NewSystem(g,
+				core.WithAgentsAt(core.RandomPositions(kernelBenchBigN, kernelBenchBigK, rng)...),
+				core.WithPointers(core.PointersRandom(g, rng)),
+				core.WithKernelMode(mode))
+			if err != nil {
+				return nil, err
+			}
+			if sys.KernelName() != want {
+				return nil, fmt.Errorf("engine: kernel %q selected, want %q", sys.KernelName(), want)
+			}
+			sys.Run(kernelBenchBigWarmup)
+			return sys.Step, nil
+		}
+	}
 	// The schedule-path case measures the perturbation subsystem's stepping
 	// cost: the same dense rotor workload behind the schedule runner with a
-	// permanent delay regime, so every round pays the per-node Binomial
-	// hold draw plus the generic held-round engine — the worst case of the
+	// permanent delay regime, so every round pays the counter-based hold
+	// draws plus a fused held-kernel round — the steady-state cost of the
 	// scheduled path. Stated against rotor-generic, the gap is the price of
 	// the scenario layer, not of the wrapper (whose pass-through rounds
 	// delegate straight to the inner hot loop).
@@ -162,6 +231,7 @@ func KernelBenchCases() []KernelBenchCase {
 	}
 	ringName := fmt.Sprintf("ring(%d)", kernelBenchRotorN)
 	walkRing := fmt.Sprintf("ring(%d)", kernelBenchWalkN)
+	bigRing := fmt.Sprintf("ring(%d)", kernelBenchBigN)
 	return []KernelBenchCase{
 		{Name: "rotor-generic", Process: "rotor", Graph: ringName, K: kernelBenchRotorK,
 			NewStepper: rotor(core.KernelGeneric)},
@@ -169,8 +239,15 @@ func KernelBenchCases() []KernelBenchCase {
 			Baseline: "rotor-generic", NewStepper: rotor(core.KernelFast)},
 		{Name: "rotor-sched-delay", Process: "rotor", Graph: ringName, K: kernelBenchRotorK,
 			Baseline: "rotor-generic", NewStepper: scheduled},
+		{Name: "rotor-sched-delay-held", Process: "rotor", Graph: ringName, K: kernelBenchRotorK,
+			Baseline: "rotor-generic", NewStepper: heldKernel},
 		{Name: "rotor-mission-patrol", Process: "rotor", Graph: ringName, K: kernelBenchRotorK,
 			Baseline: "rotor-generic", NewStepper: mission},
+		{Name: "ring-2^24-serial", Process: "rotor", Graph: bigRing, K: kernelBenchBigK,
+			Rounds: kernelBenchBigRounds, NewStepper: big(core.KernelFast, "ring")},
+		{Name: "ring-2^24-parallel", Process: "rotor", Graph: bigRing, K: kernelBenchBigK,
+			Baseline: "ring-2^24-serial", Rounds: kernelBenchBigRounds,
+			NewStepper: big(core.KernelParallel, "ring-parallel")},
 		{Name: "walk-agents", Process: "walk", Graph: walkRing, K: kernelBenchWalkK,
 			NewStepper: walk(randwalk.ModeAgents)},
 		{Name: "walk-counts", Process: "walk", Graph: walkRing, K: kernelBenchWalkK,

@@ -89,6 +89,16 @@ type Holder interface {
 	ForEachOccupied(f func(v int, agents int64))
 }
 
+// CountsViewer is the optional fast-path companion to Holder: a zero-copy,
+// node-indexed view of the current agent counts. When present, the schedule
+// runner fills its hold draws with one flat loop over the view instead of a
+// per-node ForEachOccupied callback — same values, no per-node dispatch.
+// The view is read-only and stale after the next step; consumers re-fetch
+// it every round.
+type CountsViewer interface {
+	AgentCountsView() []int64
+}
+
 // Rewirer is the capability of swapping the topology mid-run (same node
 // set) — the edge-failure/repair primitive. Pointer processes receive the
 // transplanted pointer vector; pointer-less processes are passed nil and

@@ -18,7 +18,10 @@ var updateDigests = flag.Bool("update-digests", false, "rewrite the row-digest g
 // seeds, simulation order or the row encoding changed — which silently
 // invalidates every deployed row cache and breaks service/library byte
 // identity for old spools, so it must be an explicit, versioned decision
-// (bump the rowcache/v1 key prefix), never an accident.
+// (bump the rowcache/v3 key prefix), never an accident. The v3 bump itself
+// was such a decision: the hold-draw stream became counter-based
+// (helddraw.go), changing delay-schedule rows; this fixture was regenerated
+// with it.
 type digestFixture struct {
 	V     int                `json:"v"`
 	Specs []specDigestRecord `json:"specs"`

@@ -85,6 +85,8 @@ func kernelMode(k Kernel) core.KernelMode {
 		return core.KernelGeneric
 	case KernelFast:
 		return core.KernelFast
+	case KernelParallel:
+		return core.KernelParallel
 	default:
 		return core.KernelAuto
 	}
@@ -95,7 +97,7 @@ func walkMode(k Kernel) randwalk.Mode {
 	switch k {
 	case KernelGeneric:
 		return randwalk.ModeAgents
-	case KernelFast:
+	case KernelFast, KernelParallel:
 		return randwalk.ModeCounts
 	default:
 		return randwalk.ModeAuto

@@ -14,30 +14,34 @@ import (
 // events (edge failure/repair, churn, pointer resets) fire at their
 // planned rounds, and the delayed-deployment regime turns rounds into
 // StepHeld rounds with per-agent Binomial hold draws. Between events the
-// wrapper hands whole chunks to the inner process's hot path (RunUntilCovered
-// / Run), so unperturbed stretches run on the specialized kernels,
-// bit-identically to an unscheduled run of the same configuration.
+// wrapper hands whole chunks to the inner process's hot path — plain
+// stretches via RunUntilCovered / Run, hold-regime stretches via runHeld,
+// whose rounds dispatch to the fused held kernels — so both regimes run
+// specialized, bit-identically to an unscheduled run of the same
+// configuration where the regimes coincide.
 //
 // Every seed-dependent choice is drawn from the job's schedule stream
-// (scheduleSeedOf), never from worker identity, so scheduled sweeps remain
-// byte-identical across worker counts. Reset restores the pristine
-// topology and initial configuration and rewinds the plan cursor and the
-// stream, so cached prototypes stay reusable across replicas.
+// (scheduleSeedOf), never from worker identity; hold draws come from their
+// own counter-based sub-stream (helddraw.go) keyed by (round, node), so
+// neither worker counts nor chunk boundaries can shift them. Reset restores
+// the pristine topology and initial configuration and rewinds the plan
+// cursor and the streams, so cached prototypes stay reusable across
+// replicas.
 type scheduledProc struct {
 	inner Proc
 	plan  *SchedulePlan
 	spec  string // canonical schedule spec, for error messages
 
-	n         int // node count (constant across rewires)
-	seed      uint64
-	rng       *xrand.Rand
-	pristine  *graph.Graph
-	cur       *graph.Graph
-	toOld     [][]int32 // current port -> pristine port; nil when cur == pristine
-	deleted   []bool    // deleted edges, by pristine arc id; nil until first failure
-	next      int       // next plan event to apply
-	held      []int64   // hold-draw scratch, node-indexed
-	heldNodes []int     // nodes with a nonzero entry in held
+	n        int // node count (constant across rewires)
+	seed     uint64
+	rng      *xrand.Rand
+	draw     *heldDraw // hold-draw stream; nil when the plan has no hold regime
+	pristine *graph.Graph
+	cur      *graph.Graph
+	toOld    [][]int32 // current port -> pristine port; nil when cur == pristine
+	deleted  []bool    // deleted edges, by pristine arc id; nil until first failure
+	next     int       // next plan event to apply
+	held     []int64   // hold-draw scratch, node-indexed
 }
 
 // newScheduledProc wraps p with the schedule runner for inst. It fails —
@@ -81,7 +85,7 @@ func newScheduledProc(p Proc, procName string, inst schedInstance, env *JobEnv) 
 		}
 	}
 	seed := scheduleSeedOf(env.Seed, inst.canonical)
-	return &scheduledProc{
+	sp := &scheduledProc{
 		inner:    p,
 		plan:     plan,
 		spec:     inst.canonical,
@@ -90,7 +94,11 @@ func newScheduledProc(p Proc, procName string, inst schedInstance, env *JobEnv) 
 		rng:      xrand.New(seed),
 		pristine: env.Graph,
 		cur:      env.Graph,
-	}, nil
+	}
+	if plan.HoldP > 0 {
+		sp.draw = newHeldDraw(plan.HoldP, heldSeedOf(seed))
+	}
+	return sp, nil
 }
 
 // --- Proc surface ---------------------------------------------------------
@@ -131,6 +139,9 @@ func (sp *scheduledProc) Reseed(seed uint64) {
 	}
 	sp.seed = scheduleSeedOf(seed, sp.spec)
 	sp.rng.Reseed(sp.seed)
+	if sp.draw != nil {
+		sp.draw.reseed(heldSeedOf(sp.seed))
+	}
 }
 
 // --- capability forwarding ------------------------------------------------
@@ -173,9 +184,11 @@ func (sp *scheduledProc) cloneScheduled() Proc {
 	cp := *sp
 	cp.inner = sp.inner.(Cloner).CloneProc()
 	cp.rng = sp.rng.Clone()
+	if sp.draw != nil {
+		cp.draw = sp.draw.clone()
+	}
 	cp.deleted = append([]bool(nil), sp.deleted...)
 	cp.held = nil
-	cp.heldNodes = nil
 	return &cp
 }
 
@@ -214,31 +227,59 @@ func (sp *scheduledProc) applyDue() {
 }
 
 // stepHeld runs one delayed-deployment round: each agent at an occupied
-// node is held with probability HoldP (one Binomial draw per node), and the
-// round executes on the generic held path.
+// node is held with probability HoldP (one Binomial draw per node, from the
+// counter-based hold stream keyed by round and node), and the round executes
+// on the process's held path — the fused held kernels on ring and path
+// shapes.
+//
+// The draw pass writes every occupied node unconditionally (zero draws
+// included), so entries for nodes occupied this round are always fresh;
+// stale nonzero entries can only remain at nodes that emptied since their
+// last draw, where every held path clamps them against a zero population.
 func (sp *scheduledProc) stepHeld() {
 	h := sp.inner.(Holder)
 	if sp.held == nil {
 		sp.held = make([]int64, sp.n)
 	}
-	for _, v := range sp.heldNodes {
-		sp.held[v] = 0
+	base := sp.draw.roundBase(sp.inner.Round())
+	if cv, ok := sp.inner.(CountsViewer); ok {
+		// Fast path: one flat pass over the counts view, no per-node
+		// dispatch. The view goes stale at every step, so it is re-fetched
+		// each round. Values are identical to the fallback's, node by node.
+		sp.draw.fill(sp.held, cv.AgentCountsView(), base)
+	} else {
+		held := sp.held
+		h.ForEachOccupied(func(v int, agents int64) {
+			held[v] = sp.draw.draw(base, v, agents)
+		})
 	}
-	sp.heldNodes = sp.heldNodes[:0]
-	h.ForEachOccupied(func(v int, agents int64) {
-		if x := sp.rng.Binomial(agents, sp.plan.HoldP); x > 0 {
-			sp.held[v] = x
-			sp.heldNodes = append(sp.heldNodes, v)
-		}
-	})
 	h.StepHeld(sp.held)
 }
 
+// runHeld is the hold-regime chunk runner: it advances held rounds until
+// target, the next plan event, the regime's end, or (when stopCovered) full
+// coverage — whichever comes first. The loop body is the scheduled hot
+// path: one draw pass and one held round, no event scans. Callers applyDue
+// first, so the chunk bound is strictly ahead and progress is guaranteed.
+func (sp *scheduledProc) runHeld(target int64, stopCovered bool) {
+	bound := sp.nextEventRound(target)
+	if sp.plan.HoldUntil < bound {
+		bound = sp.plan.HoldUntil
+	}
+	for sp.inner.Round() < bound {
+		if stopCovered && sp.inner.Covered() == sp.n {
+			return
+		}
+		sp.stepHeld()
+	}
+}
+
 // RunUntilCovered implements CoverRunner with absolute-round semantics: the
-// hot inner loop runs in chunks bounded by the next event round, held
-// rounds step one at a time, and observers chunk further on top (the
-// metric's probe runner calls with growing targets, exactly as for an
-// unscheduled job) — so probes sample seamlessly across fault epochs.
+// hot inner loop runs in chunks bounded by the next event round — plain
+// stretches on the inner runner, hold-regime stretches on runHeld — and
+// observers chunk further on top (the metric's probe runner calls with
+// growing targets, exactly as for an unscheduled job), so probes sample
+// seamlessly across fault epochs.
 func (sp *scheduledProc) RunUntilCovered(maxRounds int64) (int64, error) {
 	cr, ok := sp.inner.(CoverRunner)
 	if !ok {
@@ -257,7 +298,7 @@ func (sp *scheduledProc) RunUntilCovered(maxRounds int64) (int64, error) {
 				// ErrNotCovered error.
 				return cr.RunUntilCovered(maxRounds)
 			}
-			sp.stepHeld()
+			sp.runHeld(maxRounds, true)
 			continue
 		}
 		t, err := cr.RunUntilCovered(sp.nextEventRound(maxRounds))
@@ -277,7 +318,7 @@ func (sp *scheduledProc) RunTo(target int64) {
 	for sp.inner.Round() < target {
 		sp.applyDue()
 		if sp.holdActive() {
-			sp.stepHeld()
+			sp.runHeld(target, false)
 			continue
 		}
 		rounds := sp.nextEventRound(target) - sp.inner.Round()

@@ -135,9 +135,14 @@ const (
 	// KernelFast forces the specialized rotor kernel (where the topology
 	// has one) and counts-based walks.
 	KernelFast
+	// KernelParallel is KernelFast plus within-round sharding on flat ring
+	// layouts: contiguous node ranges step on separate goroutines and merge
+	// at a barrier, bit-identical to the serial kernel at any shard count.
+	// Shapes without a parallel stepper keep their KernelFast choice.
+	KernelParallel
 )
 
-// ParseKernel converts a flag string (auto|generic|fast).
+// ParseKernel converts a flag string (auto|generic|fast|parallel).
 func ParseKernel(s string) (Kernel, error) {
 	switch strings.ToLower(s) {
 	case "", "auto":
@@ -146,8 +151,10 @@ func ParseKernel(s string) (Kernel, error) {
 		return KernelGeneric, nil
 	case "fast":
 		return KernelFast, nil
+	case "parallel":
+		return KernelParallel, nil
 	default:
-		return 0, fmt.Errorf("engine: unknown kernel %q (auto|generic|fast)", s)
+		return 0, fmt.Errorf("engine: unknown kernel %q (auto|generic|fast|parallel)", s)
 	}
 }
 
@@ -157,6 +164,8 @@ func (k Kernel) String() string {
 		return "generic"
 	case KernelFast:
 		return "fast"
+	case KernelParallel:
+		return "parallel"
 	default:
 		return "auto"
 	}
@@ -364,7 +373,7 @@ func (s SweepSpec) withDefaults() (SweepSpec, error) {
 			return s, fmt.Errorf("engine: invalid pointer policy %d", int(p))
 		}
 	}
-	if s.Kernel < KernelAuto || s.Kernel > KernelFast {
+	if s.Kernel < KernelAuto || s.Kernel > KernelParallel {
 		return s, fmt.Errorf("engine: invalid kernel %d", int(s.Kernel))
 	}
 	for _, p := range s.Probes {

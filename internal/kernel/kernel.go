@@ -18,15 +18,19 @@
 //     shares: pointers, agent counts, visits, exits, coverage, round
 //     counters, and — when State.HashOn is set — the incremental
 //     configuration hash. The differential tests in core enforce this
-//     configuration-for-configuration.
+//     configuration-for-configuration. Kernels that also cover
+//     delayed-deployment rounds implement HeldStepper (held.go), under the
+//     same bit-identity contract.
 //
 // Tier 1 (this package) is the ring/path rotor kernel: a branch-light loop
 // over the flat count arrays with direct (v±1) mod n addressing and
-// closed-form port splitting. Tier 2 is the opt-in configuration hash
-// (State.HashOn, enabled by core.WithConfigHash); kernels skip all hash
-// work when it is off. Tier 3 — counts-based binomial stepping for the
-// random-walk baseline — lives in internal/randwalk and shares this
-// package's shape detection.
+// closed-form port splitting, plus the fused held-round variants in
+// held.go. Tier 2 is the opt-in configuration hash (State.HashOn, enabled
+// by core.WithConfigHash); kernels skip all hash work when it is off.
+// Tier 3 — counts-based binomial stepping for the random-walk baseline —
+// lives in internal/randwalk and shares this package's shape detection.
+// Orthogonally, Parallelize (parallel.go) shards a flat ring round across
+// goroutines with bit-identical results at every shard count.
 package kernel
 
 import (
@@ -76,9 +80,12 @@ type State struct {
 
 	// Scratch is the kernels' double buffer for next-round agent counts
 	// and Split their per-node departing-split scratch. Both are allocated
-	// lazily on first specialized step.
+	// lazily on first specialized step. Active is the parallel held
+	// stepper's per-node mover scratch (the serial kernels keep movers in
+	// registers), allocated lazily on first parallel held round.
 	Scratch []int64
 	Split   []int64
+	Active  []int64
 }
 
 // NewState allocates a zeroed State for n nodes (coverage fields are set by
@@ -96,8 +103,8 @@ func NewState(n int) State {
 	}
 }
 
-// Clone returns a deep copy of the state. The scratch buffer is not carried
-// over; the copy reallocates its own on first specialized step.
+// Clone returns a deep copy of the state. The scratch buffers are not
+// carried over; the copy reallocates its own on first specialized step.
 func (st *State) Clone() State {
 	c := *st
 	c.Ptr = append([]int32(nil), st.Ptr...)
@@ -109,13 +116,17 @@ func (st *State) Clone() State {
 	c.LastVisited = append([]int(nil), st.LastVisited...)
 	c.Scratch = nil
 	c.Split = nil
+	c.Active = nil
 	return c
 }
 
 // Stepper advances one synchronous, fully-active round over a State. A nil
-// Stepper means "generic only". Implementations are stateless (all mutable
-// state lives in the State), so one Stepper value may serve many systems —
-// but a single State must not be stepped from two goroutines at once.
+// Stepper means "generic only". The serial implementations are stateless
+// (all mutable state lives in the State), so one Stepper value may serve
+// many systems; the parallel stepper returned by Parallelize carries merge
+// scratch and must be per-system. A single State must not be stepped from
+// two goroutines at once. Kernels that also cover delayed-deployment
+// rounds additionally implement HeldStepper (held.go).
 type Stepper interface {
 	// Name identifies the kernel ("ring", "path") for logs and benchmarks.
 	Name() string
